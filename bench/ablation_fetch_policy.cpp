@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: SMT fetch policy. The paper's SMT cores use round-robin fetch
+ * with static ROB partitioning (Raasch & Reinhardt); ICOUNT (Tullsen et
+ * al.) prioritises the least-occupying thread. This bench compares core
+ * throughput under both policies at 2/4/6 SMT threads for a latency-bound
+ * and a compute-bound workload on one big core.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/chip_sim.h"
+#include "trace/spec_profiles.h"
+
+using namespace smtflex;
+
+namespace {
+
+double
+aggregateIpc(FetchPolicy policy, const std::string &bench,
+             std::uint32_t threads)
+{
+    CoreParams core = CoreParams::big();
+    core.fetchPolicy = policy;
+    ChipConfig cfg = ChipConfig::homogeneous("1B", core, 1);
+    ChipSim chip(cfg);
+    Placement pl;
+    std::vector<ThreadSpec> specs;
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        pl.entries.push_back({0, i});
+        specs.push_back({&specProfile(bench), 12'000, 4'000});
+    }
+    return chip.runMultiProgram(specs, pl, 42).aggregateIpc();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Ablation: SMT fetch policy",
+                      "Round-robin (paper) vs ICOUNT on one big core");
+
+    std::printf("%-12s %-8s %14s %10s %8s\n", "benchmark", "threads",
+                "round-robin", "icount", "delta");
+    for (const char *bench : {"mcf", "hmmer", "gobmk", "milc"}) {
+        for (std::uint32_t t : {2u, 4u, 6u}) {
+            const double rr =
+                aggregateIpc(FetchPolicy::kRoundRobin, bench, t);
+            const double ic = aggregateIpc(FetchPolicy::kIcount, bench, t);
+            std::printf("%-12s %-8u %14.3f %10.3f %+7.1f%%\n", bench, t,
+                        rr, ic, 100.0 * (ic / rr - 1.0));
+        }
+    }
+    std::printf("\nExpected: ICOUNT helps most when threads differ in "
+                "memory behaviour; with identical co-runners the policies "
+                "are close (which supports the paper's simple RR choice).\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: next-line data prefetching. The paper's configuration does not
+ * specify a data prefetcher; this bench quantifies what one would change —
+ * streaming benchmarks gain at low thread counts, but at high thread
+ * counts prefetch traffic competes for the 8 GB/s bus that is already the
+ * bottleneck.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sched/scheduler.h"
+#include "sim/chip_sim.h"
+#include "study/design_space.h"
+#include "trace/spec_profiles.h"
+#include "workload/multiprogram.h"
+
+using namespace smtflex;
+
+namespace {
+
+double
+aggregateIpc(bool prefetch, const std::string &bench, std::uint32_t threads)
+{
+    ChipConfig cfg = paperDesign("4B");
+    for (auto &core : cfg.cores)
+        core.dataPrefetch = prefetch;
+    const auto workload = homogeneousWorkload(bench, threads);
+    const auto specs = workload.specs(12'000, 3'000);
+    const Placement pl = scheduleNaive(cfg, specs.size());
+    ChipSim chip(cfg);
+    return chip.runMultiProgram(specs, pl, 42).aggregateIpc();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Ablation: next-line data prefetch",
+                      "4B design, homogeneous workloads, prefetch on/off");
+
+    std::printf("%-12s %-8s %10s %10s %8s\n", "benchmark", "threads",
+                "off", "on", "delta");
+    for (const char *bench : {"libquantum", "lbm", "milc", "hmmer", "mcf"}) {
+        for (std::uint32_t t : {1u, 4u, 16u}) {
+            const double off = aggregateIpc(false, bench, t);
+            const double on = aggregateIpc(true, bench, t);
+            std::printf("%-12s %-8u %10.3f %10.3f %+7.1f%%\n", bench, t,
+                        off, on, 100.0 * (on / off - 1.0));
+        }
+    }
+    std::printf("\nExpected: streaming codes gain strongly when the bus "
+                "has headroom; gains shrink (or invert) once the bus "
+                "saturates; random-access codes see little change.\n");
+    return 0;
+}

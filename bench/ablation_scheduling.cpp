@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures, supporting Finding #1's
+ * "intelligent scheduling" claim): offline symbiosis-aware scheduling vs
+ * naive in-order placement, on heterogeneous designs and on SMT
+ * co-scheduling.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/metrics.h"
+#include "sched/scheduler.h"
+#include "sim/chip_sim.h"
+#include "study/design_space.h"
+
+using namespace smtflex;
+
+namespace {
+
+double
+stpWith(StudyEngine &eng, const ChipConfig &cfg,
+        const MultiProgramWorkload &workload, bool offline_sched)
+{
+    const auto specs =
+        workload.specs(eng.options().budget, eng.options().warmup);
+    const Placement placement = offline_sched
+        ? scheduleOffline(cfg, specs, const_cast<StudyEngine &>(eng).offline())
+        : scheduleNaive(cfg, specs.size());
+    ChipSim chip(eng.configured(cfg));
+    const SimResult result =
+        chip.runMultiProgram(specs, placement, eng.options().seed);
+    std::vector<double> isolated;
+    for (const auto &spec : specs)
+        isolated.push_back(eng.isolatedIpc(spec.profile->name,
+                                           CoreType::kBig));
+    return systemThroughput(result, isolated);
+}
+
+} // namespace
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Ablation: scheduling",
+                      "Offline (symbiosis-aware) vs naive placement");
+    benchutil::printOptions(eng.options());
+
+    std::printf("%-8s %-10s %10s %10s %10s\n", "design", "threads",
+                "naive", "offline", "gain");
+    for (const char *design : {"3B5s", "1B15s", "2B10s", "4B"}) {
+        for (std::uint32_t n : {4u, 8u, 16u}) {
+            double naive_sum = 0.0, offline_sum = 0.0;
+            const auto mixes =
+                heterogeneousWorkloads(n, eng.options().hetMixes,
+                                       eng.options().seed);
+            // A few mixes suffice for the ablation.
+            const std::size_t count = 4;
+            for (std::size_t m = 0; m < count; ++m) {
+                naive_sum +=
+                    stpWith(eng, paperDesign(design), mixes[m], false);
+                offline_sum +=
+                    stpWith(eng, paperDesign(design), mixes[m], true);
+            }
+            std::printf("%-8s %-10u %10.3f %10.3f %9.1f%%\n", design, n,
+                        naive_sum / count, offline_sum / count,
+                        100.0 * (offline_sum / naive_sum - 1.0));
+        }
+    }
+    std::printf(
+        "\nReading the result: at low thread counts the offline schedule "
+        "wins (the right programs reach the big cores). At high counts it "
+        "can LOSE to naive placement: the isolated-run table routes all "
+        "memory-bound programs onto small cores, where — under full-chip "
+        "bus contention the offline analysis cannot see — they collapse. "
+        "The paper acknowledges exactly this blind spot ('this approach "
+        "ignores the impact of resource sharing among cores'); its "
+        "exhaustive search over co-schedules would avoid it.\n");
+    return 0;
+}

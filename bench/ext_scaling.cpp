@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension: the paper's projection claim. Section 3.2: "we believe our
+ * results are general enough to be projected to larger hardware budgets
+ * and thread counts (e.g., 8 large cores and up to 48 threads)". This
+ * bench doubles the power budget (8B / 16m / 40s / 4B20s) and sweeps up
+ * to 48 threads to test exactly that.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/log.h"
+#include "study/design_space.h"
+
+using namespace smtflex;
+
+namespace {
+
+ChipConfig
+scaled(const std::string &name)
+{
+    if (name == "8B")
+        return ChipConfig::homogeneous("8B", CoreParams::big(), 8);
+    if (name == "16m")
+        return ChipConfig::homogeneous("16m", CoreParams::medium(), 16);
+    if (name == "40s")
+        return ChipConfig::homogeneous("40s", CoreParams::small(), 40);
+    if (name == "4B20s")
+        return ChipConfig::heterogeneous("4B20s", 4, CoreParams::small(),
+                                         20);
+    fatal("unknown scaled design ", name);
+}
+
+} // namespace
+
+int
+main()
+{
+    StudyOptions opts = StudyOptions::fromEnv();
+    opts.maxThreads = 48;
+    StudyEngine eng(opts);
+    benchutil::banner("Extension: 2x budget, 48 threads",
+                      "Does the 24-thread story project to 8 big cores / "
+                      "48 threads? (paper Section 3.2 claim)");
+    benchutil::printOptions(eng.options());
+
+    const std::vector<std::string> designs = {"8B", "16m", "40s", "4B20s"};
+    const std::vector<std::uint32_t> counts = {1, 2, 4, 8, 16, 24, 32, 40,
+                                               48};
+    std::printf("(homogeneous workloads, SMT everywhere, STP)\n");
+    std::printf("%-8s", "threads");
+    for (const auto &name : designs)
+        std::printf("%9s", name.c_str());
+    std::printf("\n");
+    for (const std::uint32_t n : counts) {
+        std::printf("%-8u", n);
+        for (const auto &name : designs) {
+            const ChipConfig cfg = scaled(name);
+            if (n > cfg.totalContexts()) {
+                std::printf("%9s", "-");
+                continue;
+            }
+            std::printf("%9.3f", eng.homogeneousAt(cfg, n).stp);
+        }
+        std::printf("\n");
+    }
+
+    const double v8b_low = eng.homogeneousAt(scaled("8B"), 4).stp;
+    const double v40s_low = eng.homogeneousAt(scaled("40s"), 4).stp;
+    const double v8b_high = eng.homogeneousAt(scaled("8B"), 48).stp;
+    const double v40s_high = eng.homogeneousAt(scaled("40s"), 48).stp;
+    std::printf("\nat 4 threads:  8B/40s = %.2f (big cores dominate)\n",
+                v8b_low / v40s_low);
+    std::printf("at 48 threads: 8B/40s = %.2f (many-core closes or "
+                "leads)\n", v8b_high / v40s_high);
+    std::printf("\nExpected: the same shape as the 24-thread study — big "
+                "SMT cores far ahead at low counts, competitive at full "
+                "occupancy — confirming the projection claim.\n");
+    return 0;
+}

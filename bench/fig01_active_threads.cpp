@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 1: distribution of the number of active threads for the PARSEC
+ * benchmarks on a twenty-core processor (20s design, 20 threads).
+ *
+ * The paper's headline statistics: ~20 active threads only about half the
+ * time; 4 or fewer threads active ~31% of the time.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/design_space.h"
+#include "workload/parsec.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 1",
+                      "Active-thread distribution, PARSEC on 20 cores");
+    benchutil::printOptions(eng.options());
+
+    const ChipConfig cfg = paperDesign("20s");
+    const std::vector<std::pair<const char *, std::pair<int, int>>> buckets =
+        {{"1 thread", {1, 1}},      {"2 threads", {2, 2}},
+         {"3 threads", {3, 3}},     {"4 threads", {4, 4}},
+         {"5 threads", {5, 5}},     {"6-10 threads", {6, 10}},
+         {"11-15 threads", {11, 15}}, {"16-19 threads", {16, 19}},
+         {"20 threads", {20, 999}}};
+
+    std::printf("%-14s", "benchmark");
+    for (const auto &[label, range] : buckets)
+        std::printf("%14s", label);
+    std::printf("\n");
+
+    double avg20 = 0.0, avg_le4 = 0.0;
+    for (const auto &bench : parsecBenchmarkNames()) {
+        const ParsecMetrics m = eng.parsec(cfg, bench, 20);
+        std::printf("%-14s", bench.c_str());
+        const auto &frac = m.roiActiveThreadFractions;
+        for (const auto &[label, range] : buckets) {
+            double p = 0.0;
+            for (int k = range.first;
+                 k <= range.second &&
+                 k < static_cast<int>(frac.size());
+                 ++k)
+                p += frac[static_cast<std::size_t>(k)];
+            std::printf("%14.3f", p);
+        }
+        std::printf("\n");
+        for (std::size_t k = 20; k < frac.size(); ++k)
+            avg20 += frac[k];
+        for (std::size_t k = 0; k <= 4 && k < frac.size(); ++k)
+            avg_le4 += frac[k];
+    }
+    const double n = static_cast<double>(parsecBenchmarkNames().size());
+    std::printf("\nAverage fraction of ROI time at 20 active threads: %.2f"
+                "  (paper: ~0.50)\n", avg20 / n);
+    std::printf("Average fraction of ROI time at <=4 active threads: %.2f"
+                "  (paper: ~0.31)\n", avg_le4 / n);
+    return 0;
+}

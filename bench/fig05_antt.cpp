@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 5: average normalised turnaround time (ANTT, lower is better) of
+ * the nine designs as a function of thread count, homogeneous workloads.
+ *
+ * Expected shape: 4B lowest at low thread counts (every thread gets a big
+ * core); the many-small-core designs start high but grow more slowly.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/design_space.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 5",
+                      "ANTT vs thread count, homogeneous workloads");
+    benchutil::printOptions(eng.options());
+
+    std::printf("%-8s", "threads");
+    for (const auto &name : paperDesignNames())
+        std::printf("%9s", name.c_str());
+    std::printf("\n");
+    for (const std::uint32_t n : eng.sweepThreadCounts()) {
+        std::printf("%-8u", n);
+        for (const auto &name : paperDesignNames())
+            std::printf("%9.2f",
+                        eng.homogeneousAt(paperDesign(name), n).antt);
+        std::printf("\n");
+    }
+
+    std::printf("\nChecks: at 1 thread 4B has the lowest ANTT; ANTT grows "
+                "with thread count for every design.\n");
+    double antt1_4b = eng.homogeneousAt(paperDesign("4B"), 1).antt;
+    bool lowest = true;
+    for (const auto &name : paperDesignNames())
+        lowest &= antt1_4b <= eng.homogeneousAt(paperDesign(name), 1).antt;
+    std::printf("4B lowest ANTT at 1 thread: %s\n", lowest ? "yes" : "NO");
+    return 0;
+}

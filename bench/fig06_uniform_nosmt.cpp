@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 6: average STP under a uniform active-thread-count distribution
+ * (1..24), with SMT disabled in every design (extra threads time-share).
+ *
+ * Paper Finding #2: without SMT, heterogeneous designs win (2B4m for
+ * homogeneous workloads, 3B5s for heterogeneous workloads).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/design_space.h"
+#include "workload/distributions.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 6",
+                      "Uniform thread-count distribution, no SMT anywhere");
+    benchutil::printOptions(eng.options());
+
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+    for (const bool het : {false, true}) {
+        std::printf("(%s workloads)\n", het ? "heterogeneous"
+                                            : "homogeneous");
+        std::vector<double> scores;
+        for (const auto &name : paperDesignNames()) {
+            const ChipConfig cfg = paperDesign(name).withSmt(false);
+            const double stp = eng.distributionStp(cfg, dist, het);
+            scores.push_back(stp);
+            std::printf("  %-6s %8.3f\n", name.c_str(), stp);
+        }
+        const std::size_t best = benchutil::argmax(scores);
+        std::printf("  best without SMT: %s (paper: %s)\n\n",
+                    paperDesignNames()[best].c_str(),
+                    het ? "3B5s" : "2B4m");
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 7: average STP under the uniform thread-count distribution with
+ * SMT enabled in the HOMOGENEOUS designs (4B, 8m, 20s) only; heterogeneous
+ * designs run without SMT.
+ *
+ * Paper Finding #3: 4B with SMT outperforms every heterogeneous design
+ * without SMT — SMT beats heterogeneity as the means to cope with varying
+ * thread counts.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/design_space.h"
+#include "workload/distributions.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 7", "Uniform distribution, SMT only in the "
+                                  "homogeneous designs");
+    benchutil::printOptions(eng.options());
+
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+    const std::vector<std::string> homogeneous = {"4B", "8m", "20s"};
+
+    for (const bool het : {false, true}) {
+        std::printf("(%s workloads)\n", het ? "heterogeneous"
+                                            : "homogeneous");
+        std::vector<double> scores;
+        for (const auto &name : paperDesignNames()) {
+            const bool smt = std::find(homogeneous.begin(),
+                                       homogeneous.end(),
+                                       name) != homogeneous.end();
+            const ChipConfig cfg = paperDesign(name).withSmt(smt);
+            const double stp = eng.distributionStp(cfg, dist, het);
+            scores.push_back(stp);
+            std::printf("  %-6s %8.3f%s\n", name.c_str(), stp,
+                        smt ? "  (SMT)" : "");
+        }
+        const std::size_t best = benchutil::argmax(scores);
+        std::printf("  best: %s (paper: 4B)\n\n",
+                    paperDesignNames()[best].c_str());
+    }
+    return 0;
+}

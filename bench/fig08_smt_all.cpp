@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 8: average STP under the uniform thread-count distribution with
+ * SMT enabled in ALL designs.
+ *
+ * Paper Findings #4 and #5: the added benefit of combining heterogeneity
+ * and SMT is limited (best heterogeneous within ~0.6% of 4B), and the
+ * optimal heterogeneous design shifts towards fewer, larger cores (3B2m).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/design_space.h"
+#include "workload/distributions.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 8",
+                      "Uniform distribution, SMT in all designs");
+    benchutil::printOptions(eng.options());
+
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+    for (const bool het : {false, true}) {
+        std::printf("(%s workloads)\n", het ? "heterogeneous"
+                                            : "homogeneous");
+        std::vector<double> scores;
+        double v4b = 0.0;
+        for (const auto &name : paperDesignNames()) {
+            const double stp =
+                eng.distributionStp(paperDesign(name), dist, het);
+            scores.push_back(stp);
+            if (name == "4B")
+                v4b = stp;
+            std::printf("  %-6s %8.3f\n", name.c_str(), stp);
+        }
+        const std::size_t best = benchutil::argmax(scores);
+        std::printf("  best: %s; 4B at %.1f%% of best (paper: best "
+                    "heterogeneous ~0.5-0.6%% from 4B)\n\n",
+                    paperDesignNames()[best].c_str(),
+                    100.0 * v4b / scores[best]);
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 9: per-benchmark average STP under the uniform thread-count
+ * distribution, SMT enabled in all designs (homogeneous workloads).
+ *
+ * Expected: calculix/h264ref/hmmer/tonto favour heterogeneous designs;
+ * bandwidth-bound libquantum/mcf favour (or tie with) 4B.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/design_space.h"
+#include "trace/spec_profiles.h"
+#include "workload/distributions.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 9",
+                      "Per-benchmark STP, uniform distribution, SMT "
+                      "everywhere");
+    benchutil::printOptions(eng.options());
+
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+    std::printf("%-12s", "benchmark");
+    for (const auto &name : paperDesignNames())
+        std::printf("%9s", name.c_str());
+    std::printf("%10s\n", "best");
+
+    for (const auto &bench : specBenchmarkNames()) {
+        std::printf("%-12s", bench.c_str());
+        std::vector<double> scores;
+        for (const auto &name : paperDesignNames()) {
+            // Weighted harmonic mean of per-thread-count STP (sampled at
+            // the sweep's thread counts).
+            std::vector<double> stp, w;
+            for (std::size_t n = 1; n <= dist.size(); ++n) {
+                stp.push_back(eng.homogeneousBenchmarkAt(
+                    paperDesign(name), bench,
+                    eng.nearestSweepCount(
+                        static_cast<std::uint32_t>(n))).stp);
+                w.push_back(dist.probability(n));
+            }
+            scores.push_back(weightedHarmonicMean(stp, w));
+            std::printf("%9.3f", scores.back());
+        }
+        std::printf("%10s\n",
+                    paperDesignNames()[benchutil::argmax(scores)].c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 11: average normalised speedup over all PARSEC benchmarks for
+ * 4B, 8m, 20s, 1B6m, 1B15s — ROI-only and whole-program, with and without
+ * SMT. Speedups are normalised to the 4-threaded execution on 4B and the
+ * paper reports the best speedup across thread counts.
+ *
+ * Paper Finding #7: ROI-only without SMT -> 8m best; adding SMT brings 4B
+ * close. Whole-program -> 4B best both with and without SMT.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "study/design_space.h"
+#include "workload/parsec.h"
+
+using namespace smtflex;
+
+namespace {
+
+const std::vector<std::string> kConfigs = {"4B", "8m", "20s", "1B6m",
+                                           "1B15s"};
+
+double
+avgSpeedup(StudyEngine &eng, const std::string &config_name, bool smt,
+           bool roi_only)
+{
+    std::vector<double> speedups;
+    for (const auto &bench : parsecBenchmarkNames()) {
+        // Baseline: 4 threads on 4B (with SMT enabled; 4 threads use one
+        // context per core either way).
+        const ParsecMetrics base = eng.parsec(paperDesign("4B"), bench, 4);
+        const double base_cycles =
+            roi_only ? base.roiCycles : base.totalCycles;
+        const ChipConfig cfg = paperDesign(config_name).withSmt(smt);
+        const double cycles = eng.bestParsecCycles(cfg, bench, roi_only);
+        speedups.push_back(base_cycles / cycles);
+    }
+    return harmonicMean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 11",
+                      "PARSEC mean normalised speedup (vs 4 threads on "
+                      "4B), best thread count per design");
+    benchutil::printOptions(eng.options());
+
+    for (const bool roi_only : {true, false}) {
+        std::printf("(%s)\n", roi_only ? "ROI only" : "whole program");
+        for (const bool smt : {false, true}) {
+            std::printf("  %s SMT:\n", smt ? "with" : "without");
+            std::vector<double> scores;
+            for (const auto &name : kConfigs) {
+                scores.push_back(avgSpeedup(eng, name, smt, roi_only));
+                std::printf("    %-6s %8.3f\n", name.c_str(),
+                            scores.back());
+            }
+            std::printf("    best: %s\n",
+                        kConfigs[benchutil::argmax(scores)].c_str());
+        }
+        std::printf("\n");
+    }
+    std::printf("Paper: ROI w/o SMT best=8m; ROI w/ SMT 4B close to 8m; "
+                "whole program best=4B in both modes.\n");
+    return 0;
+}

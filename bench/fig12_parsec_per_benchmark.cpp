@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 12: per-benchmark PARSEC speedups (normalised to 4 threads on 4B)
+ * for 4B, 8m, 20s, 1B6m, 1B15s with SMT enabled — ROI-only and whole
+ * program.
+ *
+ * Expected: 20s optimal for the well-scaling benchmarks (ROI), 4B or a
+ * heterogeneous design for the poorly scaling ones and for most whole-
+ * program results.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/design_space.h"
+#include "workload/parsec.h"
+
+using namespace smtflex;
+
+namespace {
+
+const std::vector<std::string> kConfigs = {"4B", "8m", "20s", "1B6m",
+                                           "1B15s"};
+
+void
+table(StudyEngine &eng, bool roi_only)
+{
+    std::printf("(%s, SMT enabled)\n", roi_only ? "ROI only"
+                                                : "whole program");
+    std::printf("%-14s", "benchmark");
+    for (const auto &name : kConfigs)
+        std::printf("%9s", name.c_str());
+    std::printf("%9s\n", "best");
+    for (const auto &bench : parsecBenchmarkNames()) {
+        const ParsecMetrics base = eng.parsec(paperDesign("4B"), bench, 4);
+        const double base_cycles =
+            roi_only ? base.roiCycles : base.totalCycles;
+        std::printf("%-14s", bench.c_str());
+        std::vector<double> scores;
+        for (const auto &name : kConfigs) {
+            const double cycles =
+                eng.bestParsecCycles(paperDesign(name), bench, roi_only);
+            scores.push_back(base_cycles / cycles);
+            std::printf("%9.3f", scores.back());
+        }
+        std::printf("%9s\n",
+                    kConfigs[benchutil::argmax(scores)].c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 12", "Per-benchmark PARSEC speedups");
+    benchutil::printOptions(eng.options());
+    table(eng, true);
+    table(eng, false);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 15: power versus performance and normalised energy versus
+ * performance for the nine designs under the uniform thread-count
+ * distribution (heterogeneous workloads, SMT everywhere, power gating).
+ *
+ * Paper Finding #9: the Pareto frontier is populated by heterogeneous
+ * designs plus 4B (performance end) and 20s (low-power end); the minimum-
+ * EDP design (3B5s) improves EDP by only a few percent over 4B.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/metrics.h"
+#include "study/design_space.h"
+#include "workload/distributions.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyEngine eng;
+    benchutil::banner("Figure 15",
+                      "Power and energy vs performance (uniform "
+                      "distribution, power gating)");
+    benchutil::printOptions(eng.options());
+
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+
+    struct Point
+    {
+        std::string name;
+        double stp, power, energy, edp;
+    };
+
+    for (const bool het : {true, false}) {
+        std::printf("(%s workloads)\n", het ? "heterogeneous"
+                                            : "homogeneous");
+        std::vector<Point> points;
+        for (const auto &name : paperDesignNames()) {
+            const ChipConfig cfg = paperDesign(name);
+            const double stp = eng.distributionStp(cfg, dist, het);
+            const double power = eng.distributionPower(cfg, dist, het);
+            points.push_back({name, stp, power, power / stp,
+                              energyDelayProduct(power, stp)});
+        }
+
+        std::printf("%-8s %12s %10s %16s %12s\n", "design", "throughput",
+                    "power(W)", "energy/work", "EDP");
+        for (const auto &p : points)
+            std::printf("%-8s %12.3f %10.1f %16.2f %12.2f\n",
+                        p.name.c_str(), p.stp, p.power, p.energy, p.edp);
+
+        // Pareto frontier on (performance up, power down).
+        std::printf("\nPareto-optimal (power vs performance): ");
+        for (const auto &p : points) {
+            bool dominated = false;
+            for (const auto &q : points)
+                dominated |= q.stp > p.stp && q.power < p.power;
+            if (!dominated)
+                std::printf("%s ", p.name.c_str());
+        }
+        std::printf("\n");
+
+        std::size_t best_edp = 0;
+        for (std::size_t i = 1; i < points.size(); ++i)
+            if (points[i].edp < points[best_edp].edp)
+                best_edp = i;
+        double edp_4b = 0.0;
+        for (const auto &p : points)
+            if (p.name == "4B")
+                edp_4b = p.edp;
+        std::printf("Minimum-EDP design: %s, improving EDP by %.1f%% over "
+                    "4B (paper: 3B5s, %.1f%%)\n\n",
+                    points[best_edp].name.c_str(),
+                    100.0 * (edp_4b - points[best_edp].edp) / edp_4b,
+                    het ? 1.8 : 4.1);
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 17: the headline comparisons repeated with doubled memory
+ * bandwidth (16 GB/s): uniform-distribution STP for the nine designs
+ * (homogeneous and heterogeneous workloads) and PARSEC average speedups.
+ *
+ * Paper Finding #11: all configurations gain a little; 4B stays within a
+ * percent or two of the optimum.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "study/design_space.h"
+#include "workload/distributions.h"
+#include "workload/parsec.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    StudyOptions opts = StudyOptions::fromEnv();
+    opts.bandwidthGBps = 16.0;
+    StudyEngine eng(opts);
+    benchutil::banner("Figure 17", "16 GB/s memory bandwidth variant");
+    benchutil::printOptions(eng.options());
+
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+    for (const bool het : {false, true}) {
+        std::printf("(multi-program, %s workloads, SMT everywhere)\n",
+                    het ? "heterogeneous" : "homogeneous");
+        std::vector<double> scores;
+        double v4b = 0.0;
+        for (const auto &name : paperDesignNames()) {
+            const double stp =
+                eng.distributionStp(paperDesign(name), dist, het);
+            scores.push_back(stp);
+            if (name == "4B")
+                v4b = stp;
+            std::printf("  %-6s %8.3f\n", name.c_str(), stp);
+        }
+        const std::size_t best = benchutil::argmax(scores);
+        std::printf("  best: %s; 4B at %.1f%% of best (paper: within "
+                    "~0.4-0.8%%)\n\n",
+                    paperDesignNames()[best].c_str(),
+                    100.0 * v4b / scores[best]);
+    }
+
+    // PARSEC ROI-only and whole-program at 16 GB/s.
+    for (const bool roi : {true, false}) {
+        std::printf("(PARSEC, %s, SMT)\n", roi ? "ROI only"
+                                               : "whole program");
+        std::vector<double> scores;
+        const std::vector<std::string> configs = {"4B", "8m", "20s",
+                                                  "1B6m", "1B15s"};
+        for (const auto &name : configs) {
+            std::vector<double> speedups;
+            for (const auto &bench : parsecBenchmarkNames()) {
+                const ParsecMetrics base =
+                    eng.parsec(paperDesign("4B"), bench, 4);
+                const double base_cycles =
+                    roi ? base.roiCycles : base.totalCycles;
+                speedups.push_back(base_cycles /
+                                   eng.bestParsecCycles(paperDesign(name),
+                                                        bench, roi));
+            }
+            scores.push_back(harmonicMean(speedups));
+            std::printf("  %-6s %8.3f\n", name.c_str(), scores.back());
+        }
+        std::printf("  best: %s\n\n",
+                    configs[benchutil::argmax(scores)].c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator components themselves:
+ * trace generation, cache access, DRAM scheduling, and whole-chip
+ * simulation throughput. These guard the simulator's own performance (a
+ * design-space sweep runs thousands of chip-seconds).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "dram/dram.h"
+#include "sim/chip_sim.h"
+#include "study/design_space.h"
+#include "trace/spec_profiles.h"
+#include "trace/tracegen.h"
+
+using namespace smtflex;
+
+namespace {
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    TraceGenerator gen(specProfile("soplex"), 1, 0,
+                       AddressSpace::forThread(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.next());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache("bench", {static_cast<std::uint64_t>(state.range(0)),
+                                  8});
+    Rng rng(7);
+    const std::uint64_t lines = 4 * cache.geometry().numLines();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextRange(lines) * kLineSize, false).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(32 * 1024)->Arg(8 * 1024 * 1024);
+
+void
+BM_DramSchedule(benchmark::State &state)
+{
+    DramModel dram(DramConfig{});
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        now += 30;
+        addr += kLineSize;
+        benchmark::DoNotOptimize(dram.read(now, addr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramSchedule);
+
+void
+BM_ChipSimCycles(benchmark::State &state)
+{
+    // Simulated cycles per wall second on a fully loaded design.
+    const ChipConfig cfg = paperDesign("4B");
+    ChipSim chip(cfg);
+    std::vector<SimThread> threads;
+    threads.reserve(24);
+    for (std::uint32_t i = 0; i < 24; ++i)
+        threads.emplace_back(specProfile("hmmer"), 1, i,
+                             InstrCount{1} << 40, true);
+    for (std::uint32_t i = 0; i < 24; ++i)
+        chip.attach(i % 4, i / 4, &threads[i]);
+    for (auto _ : state)
+        chip.tick();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["instr_per_cycle"] = benchmark::Counter(
+        static_cast<double>(chip.collectResult().cores[0].stats.retired));
+}
+BENCHMARK(BM_ChipSimCycles);
+
+void
+BM_ChipSim20sCycles(benchmark::State &state)
+{
+    const ChipConfig cfg = paperDesign("20s");
+    ChipSim chip(cfg);
+    std::vector<SimThread> threads;
+    threads.reserve(20);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        threads.emplace_back(specProfile("milc"), 1, i,
+                             InstrCount{1} << 40, true);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        chip.attach(i, 0, &threads[i]);
+    for (auto _ : state)
+        chip.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChipSim20sCycles);
+
+} // namespace
+
+BENCHMARK_MAIN();

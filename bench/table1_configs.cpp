@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 1: the big / medium / small core configurations, plus validation of
+ * the power-equivalence assumptions of Section 3.1.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "power/power_model.h"
+#include "study/design_space.h"
+
+using namespace smtflex;
+
+int
+main()
+{
+    benchutil::banner("Table 1", "Big, medium and small core configurations"
+                                 " + power equivalence check");
+
+    const CoreParams types[] = {CoreParams::big(), CoreParams::medium(),
+                                CoreParams::small()};
+
+    std::printf("%-18s %12s %12s %12s\n", "", "Big", "Medium", "Small");
+    auto row = [&](const char *name, auto getter) {
+        std::printf("%-18s", name);
+        for (const auto &t : types)
+            std::printf(" %12s", getter(t).c_str());
+        std::printf("\n");
+    };
+    auto kb = [](std::uint64_t bytes) {
+        return std::to_string(bytes / 1024) + "KB";
+    };
+    row("Frequency", [](const CoreParams &t) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2fGHz", t.freqGHz);
+        return std::string(buf);
+    });
+    row("Type", [](const CoreParams &t) {
+        return std::string(t.outOfOrder ? "Out-of-Order" : "In-Order");
+    });
+    row("Width", [](const CoreParams &t) { return std::to_string(t.width); });
+    row("ROB size", [](const CoreParams &t) {
+        return t.outOfOrder ? std::to_string(t.robSize) : std::string("N/A");
+    });
+    row("Int units", [](const CoreParams &t) {
+        return std::to_string(t.intUnits);
+    });
+    row("Ld/st units", [](const CoreParams &t) {
+        return std::to_string(t.ldstUnits);
+    });
+    row("SMT contexts", [](const CoreParams &t) {
+        return "up to " + std::to_string(t.maxSmtContexts);
+    });
+    row("L1 I-cache", [&](const CoreParams &t) { return kb(t.l1i.sizeBytes); });
+    row("L1 D-cache", [&](const CoreParams &t) { return kb(t.l1d.sizeBytes); });
+    row("L2 cache", [&](const CoreParams &t) { return kb(t.l2.sizeBytes); });
+    std::printf("%-18s %12s\n", "Last-level cache", "8MB, 16-way (shared)");
+    std::printf("%-18s %12s\n", "Interconnect", "full crossbar");
+    std::printf("%-18s %12s\n", "DRAM", "8 banks, 45ns");
+    std::printf("%-18s %12s\n\n", "Off-chip bus", "8GB/s");
+
+    // Power-equivalence validation (paper: 1B ~ 2m ~ 5s; chips 46-50 W).
+    PowerModel power;
+    std::printf("Full-load core power: B=%.2fW m=%.2fW s=%.2fW\n",
+                power.coreFullLoadW(types[0]),
+                power.coreFullLoadW(types[1]),
+                power.coreFullLoadW(types[2]));
+    std::printf("Power equivalence: 1B = %.2f m = %.2f s (paper: ~1.8m, "
+                "~4.4-5s)\n",
+                power.coreFullLoadW(types[0]) / power.coreFullLoadW(types[1]),
+                power.coreFullLoadW(types[0]) / power.coreFullLoadW(types[2]));
+    std::printf("\nChip full-load power (+%.1fW uncore):\n",
+                power.uncoreStaticW());
+    for (const auto &cfg : paperDesigns()) {
+        double total = power.uncoreStaticW();
+        for (const auto &core : cfg.cores)
+            total += power.coreFullLoadW(core);
+        std::printf("  %-6s %5.1f W  (%u cores, %u thread contexts)\n",
+                    cfg.name.c_str(), total, cfg.numCores(),
+                    cfg.totalContexts());
+    }
+    std::printf("\nPaper anchor: 4B=46W, 8m=50W, 20s=45W at 24 threads.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Scenario: study how a multi-threaded application scales on a chip —
+ * thread-count sweep, active-thread histogram, and the SMT-vs-cores
+ * question for one PARSEC-like application.
+ *
+ * Usage: parsec_scaling [benchmark] [design]
+ *   e.g.  parsec_scaling ferret 4B
+ * Defaults: streamcluster on 4B.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "study/design_space.h"
+#include "study/study_engine.h"
+#include "workload/parsec.h"
+
+using namespace smtflex;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "streamcluster";
+    const std::string design = argc > 2 ? argv[2] : "4B";
+
+    StudyEngine eng;
+    const ChipConfig cfg = paperDesign(design);
+    std::printf("%s on %s (%u cores, %u hardware threads)\n\n",
+                bench.c_str(), design.c_str(), cfg.numCores(),
+                cfg.totalContexts());
+
+    // Thread-count sweep: ROI cycles, speedup vs 4 threads, whole-program.
+    const ParsecMetrics base = eng.parsec(cfg, bench, 4);
+    std::printf("%-8s %14s %10s %14s %10s\n", "threads", "ROI cycles",
+                "speedup", "total cycles", "speedup");
+    for (const std::uint32_t t : eng.parsecThreadCandidates(cfg)) {
+        const ParsecMetrics m = eng.parsec(cfg, bench, t);
+        std::printf("%-8u %14.0f %10.2f %14.0f %10.2f\n", t, m.roiCycles,
+                    base.roiCycles / m.roiCycles, m.totalCycles,
+                    base.totalCycles / m.totalCycles);
+    }
+
+    // Active-thread histogram at the largest count (the paper's Fig. 1
+    // view of this application).
+    const auto candidates = eng.parsecThreadCandidates(cfg);
+    const std::uint32_t t_max = candidates.back();
+    const ParsecMetrics m = eng.parsec(cfg, bench, t_max);
+    std::printf("\nROI active-thread distribution at %u threads:\n", t_max);
+    for (std::size_t k = 0; k < m.roiActiveThreadFractions.size(); ++k) {
+        if (m.roiActiveThreadFractions[k] < 0.005)
+            continue;
+        std::printf("  %2zu active: %5.1f%%  ", k,
+                    100.0 * m.roiActiveThreadFractions[k]);
+        const int bars =
+            static_cast<int>(m.roiActiveThreadFractions[k] * 60);
+        for (int b = 0; b < bars; ++b)
+            std::printf("#");
+        std::printf("\n");
+    }
+
+    // SMT or more cores? Compare this design's SMT mode against one
+    // thread per core.
+    const double best_smt = eng.bestParsecCycles(cfg, bench, true);
+    const double best_nosmt =
+        eng.bestParsecCycles(cfg.withSmt(false), bench, true);
+    std::printf("\nbest ROI cycles with SMT: %.0f, without: %.0f "
+                "(SMT gain %.1f%%)\n",
+                best_smt, best_nosmt,
+                100.0 * (best_nosmt / best_smt - 1.0));
+    return 0;
+}

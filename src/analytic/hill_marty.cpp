@@ -1,0 +1,110 @@
+#include "hill_marty.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+double
+hillMartyPerf(double r)
+{
+    if (r <= 0.0)
+        fatal("hillMartyPerf: non-positive resources");
+    return std::sqrt(r);
+}
+
+namespace {
+
+void
+checkParams(const HillMartyParams &params, double r)
+{
+    if (params.budgetBce < 1.0)
+        fatal("HillMarty: budget below one base core");
+    if (params.parallelFraction < 0.0 || params.parallelFraction > 1.0)
+        fatal("HillMarty: parallel fraction out of range");
+    if (r < 1.0 || r > params.budgetBce)
+        fatal("HillMarty: core size outside [1, budget]");
+    if (!params.perf)
+        fatal("HillMarty: no perf function");
+}
+
+/** Maximise fn over r in [1, budget] by dense scan (the curves are smooth
+ * and cheap; a 4096-point scan is exact enough for reporting). */
+double
+maximise(const HillMartyParams &params,
+         double (*fn)(const HillMartyParams &, double), double *best_r)
+{
+    double best = 0.0;
+    double arg = 1.0;
+    const int steps = 4096;
+    for (int i = 0; i <= steps; ++i) {
+        const double r = 1.0 +
+            (params.budgetBce - 1.0) * static_cast<double>(i) / steps;
+        const double s = fn(params, r);
+        if (s > best) {
+            best = s;
+            arg = r;
+        }
+    }
+    if (best_r)
+        *best_r = arg;
+    return best;
+}
+
+} // namespace
+
+double
+symmetricSpeedup(const HillMartyParams &params, double r)
+{
+    checkParams(params, r);
+    const double f = params.parallelFraction;
+    const double perf_r = params.perf(r);
+    const double cores = params.budgetBce / r;
+    // T = (1-f)/perf(r) + f/(perf(r) * cores); speedup vs 1 base core.
+    const double t = (1.0 - f) / perf_r + f / (perf_r * cores);
+    return 1.0 / t;
+}
+
+double
+asymmetricSpeedup(const HillMartyParams &params, double r)
+{
+    checkParams(params, r);
+    const double f = params.parallelFraction;
+    const double perf_r = params.perf(r);
+    // Sequential on the big core; parallel on big + (budget - r) base
+    // cores together.
+    const double parallel_capacity = perf_r + (params.budgetBce - r);
+    const double t = (1.0 - f) / perf_r + f / parallel_capacity;
+    return 1.0 / t;
+}
+
+double
+dynamicSpeedup(const HillMartyParams &params, double r)
+{
+    checkParams(params, r);
+    const double f = params.parallelFraction;
+    const double t =
+        (1.0 - f) / params.perf(r) + f / params.budgetBce;
+    return 1.0 / t;
+}
+
+double
+bestSymmetricSpeedup(const HillMartyParams &params, double *best_r)
+{
+    return maximise(params, &symmetricSpeedup, best_r);
+}
+
+double
+bestAsymmetricSpeedup(const HillMartyParams &params, double *best_r)
+{
+    return maximise(params, &asymmetricSpeedup, best_r);
+}
+
+double
+bestDynamicSpeedup(const HillMartyParams &params, double *best_r)
+{
+    return maximise(params, &dynamicSpeedup, best_r);
+}
+
+} // namespace smtflex

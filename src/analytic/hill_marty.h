@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Hill & Marty "Amdahl's Law in the Multicore Era" analytical models
+ * (IEEE Computer 2008), which the paper uses as its theoretical foil in
+ * Section 6: under Amdahl assumptions, heterogeneous ("asymmetric")
+ * multi-cores beat symmetric ones and dynamic multi-cores beat both.
+ *
+ * The models: a chip has a resource budget of n base-core-equivalents
+ * (BCEs); a core built from r BCEs achieves sequential performance
+ * perf(r) (typically sqrt(r)). A program has parallel fraction f.
+ *
+ *  - symmetric:  n/r cores of size r,
+ *  - asymmetric: one big core of size r plus (n - r) base cores,
+ *  - dynamic:    sequential phases on an r-BCE core, parallel phases on
+ *                n base cores.
+ *
+ * The paper's empirical contribution is precisely that these conclusions
+ * flip once the active thread count varies and SMT is on the table; the
+ * bench built on this module reproduces the analytical side so the two
+ * can be compared.
+ */
+
+#ifndef SMTFLEX_ANALYTIC_HILL_MARTY_H
+#define SMTFLEX_ANALYTIC_HILL_MARTY_H
+
+#include <cstdint>
+#include <functional>
+
+namespace smtflex {
+
+/** Sequential performance of a core built from r base-core-equivalents.
+ * Hill & Marty's default assumption is perf(r) = sqrt(r). */
+double hillMartyPerf(double r);
+
+/** Parameters of one Hill & Marty evaluation. */
+struct HillMartyParams
+{
+    /** Chip resource budget in base-core equivalents. */
+    double budgetBce = 16.0;
+    /** Parallel fraction of the workload (Amdahl's f). */
+    double parallelFraction = 0.9;
+    /** Performance function; defaults to sqrt. */
+    std::function<double(double)> perf = &hillMartyPerf;
+};
+
+/** Speedup of a symmetric multi-core using cores of @p r BCEs each. */
+double symmetricSpeedup(const HillMartyParams &params, double r);
+
+/** Speedup of an asymmetric multi-core: one @p r-BCE core + base cores. */
+double asymmetricSpeedup(const HillMartyParams &params, double r);
+
+/** Speedup of a dynamic multi-core morphing between an @p r-BCE
+ * sequential core and all-base-cores parallel execution. */
+double dynamicSpeedup(const HillMartyParams &params, double r);
+
+/** Best speedup over r in [1, budget] (golden-section + endpoint scan). */
+double bestSymmetricSpeedup(const HillMartyParams &params,
+                            double *best_r = nullptr);
+double bestAsymmetricSpeedup(const HillMartyParams &params,
+                             double *best_r = nullptr);
+double bestDynamicSpeedup(const HillMartyParams &params,
+                          double *best_r = nullptr);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_ANALYTIC_HILL_MARTY_H

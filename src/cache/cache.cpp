@@ -1,0 +1,125 @@
+#include "cache.h"
+
+#include "common/log.h"
+
+namespace smtflex {
+
+SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geometry)
+    : name_(std::move(name)), geometry_(geometry)
+{
+    if (geometry_.lineSize == 0 || geometry_.assoc == 0)
+        fatal("cache ", name_, ": bad geometry");
+    if (geometry_.sizeBytes % geometry_.lineSize != 0)
+        fatal("cache ", name_, ": size not a multiple of line size");
+    if (geometry_.numLines() % geometry_.assoc != 0)
+        fatal("cache ", name_, ": lines not divisible by associativity");
+    numSets_ = geometry_.numSets();
+    if (numSets_ == 0)
+        fatal("cache ", name_, ": zero sets");
+    lines_.resize(numSets_ * geometry_.assoc);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    // Modulo placement supports non-power-of-two set counts (6 KB, 48 KB
+    // caches in Table 1).
+    return (line_addr / geometry_.lineSize) % numSets_;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool is_write, bool mark_prefetched)
+{
+    const Addr line_addr = addr / geometry_.lineSize;
+    const std::uint64_t set = setIndex(addr);
+    Line *const base = &lines_[set * geometry_.assoc];
+
+    ++stats_.accesses;
+    ++lruClock_;
+
+    Line *victim = base;
+    for (std::uint32_t way = 0; way < geometry_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == line_addr) {
+            line.lruStamp = lruClock_;
+            line.dirty = line.dirty || is_write;
+            const bool was_prefetched = line.prefetched;
+            line.prefetched = false; // demand touch consumes the tag
+            return {.hit = true, .hitPrefetched = was_prefetched,
+                    .writeback = false, .victimAddr = 0};
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+
+    // Miss: allocate over the LRU (or an invalid) way.
+    ++stats_.misses;
+    CacheAccessResult result;
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.victimAddr = victim->tag * geometry_.lineSize;
+        }
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->dirty = is_write;
+    victim->prefetched = mark_prefetched;
+    victim->lruStamp = lruClock_;
+    return result;
+}
+
+void
+SetAssocCache::install(Addr addr)
+{
+    const Addr line_addr = addr / geometry_.lineSize;
+    const std::uint64_t set = setIndex(addr);
+    Line *const base = &lines_[set * geometry_.assoc];
+    ++lruClock_;
+
+    Line *victim = base;
+    for (std::uint32_t way = 0; way < geometry_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == line_addr) {
+            line.lruStamp = lruClock_;
+            return;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->dirty = false;
+    victim->prefetched = false;
+    victim->lruStamp = lruClock_;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr line_addr = addr / geometry_.lineSize;
+    const std::uint64_t set = setIndex(addr);
+    const Line *const base = &lines_[set * geometry_.assoc];
+    for (std::uint32_t way = 0; way < geometry_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == line_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = Line();
+}
+
+} // namespace smtflex

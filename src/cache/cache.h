@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Set-associative cache with true LRU replacement.
+ *
+ * Used for the private L1I/L1D/L2 caches of every core and for the shared
+ * last-level cache. The tag array is real (not a miss-rate curve), so
+ * capacity and conflict behaviour — including SMT threads sharing a private
+ * cache and multiple cores sharing the LLC, both central to the paper —
+ * emerge from the simulated address streams.
+ */
+
+#ifndef SMTFLEX_CACHE_CACHE_H
+#define SMTFLEX_CACHE_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace smtflex {
+
+/** Geometry of one cache. Sizes need not be powers of two (the paper uses
+ * 6 KB and 48 KB small-core caches); the set index uses modulo placement. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t assoc = 1;
+    std::uint32_t lineSize = kLineSize;
+
+    std::uint64_t numLines() const { return sizeBytes / lineSize; }
+    std::uint64_t numSets() const { return numLines() / assoc; }
+};
+
+/** Aggregate statistics of one cache instance. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** Result of a single cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** The hit line was installed by a prefetch and is touched by demand
+     * for the first time (tagged prefetching: the prefetcher re-arms). */
+    bool hitPrefetched = false;
+    /** True when a dirty victim was evicted (must be written back). */
+    bool writeback = false;
+    /** Line address of the dirty victim when writeback is set. */
+    Addr victimAddr = 0;
+};
+
+/**
+ * A write-back, write-allocate, true-LRU set-associative cache.
+ */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(std::string name, const CacheGeometry &geometry);
+
+    /**
+     * Access one line. On a miss the line is allocated (write-allocate) and
+     * the LRU victim is evicted.
+     *
+     * @param addr byte address (any offset within the line).
+     * @param is_write marks the line dirty.
+     * @param mark_prefetched tag an allocated line as prefetched.
+     */
+    CacheAccessResult access(Addr addr, bool is_write,
+                             bool mark_prefetched = false);
+
+    /** Probe without updating state or statistics. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Functionally install a clean line without touching statistics
+     * (functional warmup of sampled simulation: the line appears as if it
+     * had been fetched earlier; any victim is dropped silently).
+     */
+    void install(Addr addr);
+
+    /** Drop every line (loses dirty data; used by tests/resets). */
+    void invalidateAll();
+
+    const CacheGeometry &geometry() const { return geometry_; }
+    const CacheStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+
+    /** Reset statistics only (contents keep their state). */
+    void clearStats() { stats_ = CacheStats(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    std::uint64_t setIndex(Addr line_addr) const;
+
+    std::string name_;
+    CacheGeometry geometry_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_; // numSets_ x assoc, row-major
+    std::uint64_t lruClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_CACHE_CACHE_H

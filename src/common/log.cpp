@@ -1,0 +1,56 @@
+#include "log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smtflex {
+
+namespace {
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::kInform:
+        prefix = "info";
+        break;
+      case LogLevel::kWarn:
+        prefix = "warn";
+        break;
+      case LogLevel::kFatal:
+        prefix = "fatal";
+        break;
+      case LogLevel::kPanic:
+        prefix = "panic";
+        break;
+    }
+    std::fprintf(stderr, "smtflex: %s: %s\n", prefix, msg.c_str());
+}
+
+LogSink currentSink = nullptr;
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink old = currentSink;
+    currentSink = sink;
+    return old;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (currentSink)
+        currentSink(level, msg);
+    else
+        defaultSink(level, msg);
+    if (level == LogLevel::kFatal)
+        throw FatalError(msg);
+    if (level == LogLevel::kPanic)
+        throw PanicError(msg);
+}
+
+} // namespace smtflex

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Minimal logging/error helpers in the gem5 spirit.
+ *
+ * fatal()  - the condition is the user's fault (bad configuration); exits.
+ * panic()  - the condition is an smtflex bug; aborts.
+ * warn()   - something is questionable but the simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef SMTFLEX_COMMON_LOG_H
+#define SMTFLEX_COMMON_LOG_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smtflex {
+
+/** Thrown by fatal(): a user-caused error (bad configuration/arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown by panic(): an smtflex-internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Severity used by the sink, mostly for testing/filtering. */
+enum class LogLevel { kInform, kWarn, kFatal, kPanic };
+
+/**
+ * Redirectable log sink. Tests install their own sink to capture messages;
+ * the default sink writes to stderr and terminates on kFatal/kPanic.
+ */
+using LogSink = void (*)(LogLevel, const std::string &);
+
+/** Install a log sink; returns the previous one. Pass nullptr to restore
+ * the default. */
+LogSink setLogSink(LogSink sink);
+
+/**
+ * Emit a message at @p level through the current sink. For kFatal the
+ * message is additionally thrown as FatalError; for kPanic as PanicError
+ * (the sink runs first, so messages are never lost).
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+inline void
+format(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    format(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from streamable pieces and log it at @p level. */
+template <typename... Args>
+void
+logAt(LogLevel level, const Args &...args)
+{
+    std::ostringstream os;
+    detail::format(os, args...);
+    logMessage(level, os.str());
+}
+
+/** User error: report through the sink, then throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    logAt(LogLevel::kFatal, args...);
+    // logAt throws for kFatal; this is unreachable but keeps [[noreturn]]
+    // provable for the compiler.
+    throw FatalError("fatal");
+}
+
+/** Internal invariant violation: report, then throw PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    logAt(LogLevel::kPanic, args...);
+    throw PanicError("panic");
+}
+
+/** Non-fatal diagnostic. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logAt(LogLevel::kWarn, args...);
+}
+
+/** Plain status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logAt(LogLevel::kInform, args...);
+}
+
+} // namespace smtflex
+
+#endif // SMTFLEX_COMMON_LOG_H

@@ -1,0 +1,131 @@
+#include "rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace smtflex {
+
+namespace {
+
+/** SplitMix64 step, used only to expand seeds into xoshiro state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+{
+    // Mix the stream id into the seed expansion so that (seed, 0) and
+    // (seed, 1) are unrelated sequences.
+    std::uint64_t x = seed ^ (stream * 0xda942042e4dd58b5ULL + 0x9e3779b9ULL);
+    for (auto &word : s_)
+        word = splitMix64(x);
+    // xoshiro must not be seeded with the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 top bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Multiply-shift range reduction; bias is negligible for our bounds
+    // (all far below 2^48) and determinism is what matters here.
+    unsigned __int128 product = static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+}
+
+std::int64_t
+Rng::nextInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+        nextRange(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint32_t
+Rng::nextGeometric(double mean)
+{
+    assert(mean >= 1.0);
+    if (mean == 1.0)
+        return 1;
+    // Support {1, 2, ...}: success probability p = 1/mean.
+    const double p = 1.0 / mean;
+    const double u = nextDouble();
+    // Inverse CDF; u == 0 maps to 1.
+    const double v = std::log1p(-u) / std::log1p(-p);
+    double k = std::floor(v) + 1.0;
+    if (k < 1.0)
+        k = 1.0;
+    if (k > 4096.0)
+        k = 4096.0; // clamp pathological tails, keeps models bounded
+    return static_cast<std::uint32_t>(k);
+}
+
+double
+Rng::nextGaussian()
+{
+    // Box-Muller; draw until the radius is usable.
+    double u1 = nextDouble();
+    while (u1 <= 1e-300)
+        u1 = nextDouble();
+    const double u2 = nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextLognormal(double mean, double cv)
+{
+    assert(mean > 0.0);
+    if (cv <= 0.0)
+        return mean;
+    const double sigma2 = std::log1p(cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * nextGaussian());
+}
+
+} // namespace smtflex

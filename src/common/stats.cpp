@@ -1,0 +1,188 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "log.h"
+#include "rng.h"
+
+namespace smtflex {
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double inv_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        inv_sum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / inv_sum;
+}
+
+double
+weightedArithmeticMean(const std::vector<double> &values,
+                       const std::vector<double> &weights)
+{
+    assert(values.size() == weights.size());
+    double sum = 0.0, wsum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        sum += values[i] * weights[i];
+        wsum += weights[i];
+    }
+    return wsum > 0.0 ? sum / wsum : 0.0;
+}
+
+double
+weightedHarmonicMean(const std::vector<double> &values,
+                     const std::vector<double> &weights)
+{
+    assert(values.size() == weights.size());
+    double inv_sum = 0.0, wsum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (weights[i] <= 0.0)
+            continue;
+        assert(values[i] > 0.0);
+        inv_sum += weights[i] / values[i];
+        wsum += weights[i];
+    }
+    return inv_sum > 0.0 ? wsum / inv_sum : 0.0;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::size_t max_value) : buckets_(max_value + 1, 0.0)
+{
+}
+
+void
+Histogram::add(std::size_t value, double weight)
+{
+    if (value >= buckets_.size())
+        value = buckets_.size() - 1;
+    buckets_[value] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::fraction(std::size_t value) const
+{
+    if (total_ <= 0.0 || value >= buckets_.size())
+        return 0.0;
+    return buckets_[value] / total_;
+}
+
+double
+Histogram::weight(std::size_t value) const
+{
+    return value < buckets_.size() ? buckets_[value] : 0.0;
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("DiscreteDistribution: negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("DiscreteDistribution: all weights are zero");
+    probs_.reserve(weights.size());
+    cdf_.reserve(weights.size());
+    double running = 0.0;
+    for (double w : weights) {
+        const double p = w / total;
+        probs_.push_back(p);
+        running += p;
+        cdf_.push_back(running);
+    }
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+double
+DiscreteDistribution::probability(std::size_t value) const
+{
+    if (value < 1 || value > probs_.size())
+        return 0.0;
+    return probs_[value - 1];
+}
+
+std::size_t
+DiscreteDistribution::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double
+DiscreteDistribution::mean() const
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < probs_.size(); ++i)
+        m += probs_[i] * static_cast<double>(i + 1);
+    return m;
+}
+
+DiscreteDistribution
+DiscreteDistribution::mirrored() const
+{
+    std::vector<double> rev(probs_.rbegin(), probs_.rend());
+    return DiscreteDistribution(std::move(rev));
+}
+
+} // namespace smtflex

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every smtflex module.
+ */
+
+#ifndef SMTFLEX_COMMON_TYPES_H
+#define SMTFLEX_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace smtflex {
+
+/** A clock cycle count (monotonically increasing simulated time). */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated (per-workload) address space. */
+using Addr = std::uint64_t;
+
+/** An instruction count. */
+using InstrCount = std::uint64_t;
+
+/** Sentinel meaning "no cycle" / "never". */
+inline constexpr Cycle kCycleNever = ~Cycle{0};
+
+/** Cache line size used throughout the memory hierarchy (bytes). */
+inline constexpr std::uint32_t kLineSize = 64;
+
+/** Align @p addr down to its cache-line base address. */
+inline constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~Addr{kLineSize - 1};
+}
+
+} // namespace smtflex
+
+#endif // SMTFLEX_COMMON_TYPES_H

@@ -1,0 +1,67 @@
+#include "metrics.h"
+
+#include "common/log.h"
+
+namespace smtflex {
+
+std::vector<double>
+normalisedProgress(const SimResult &result,
+                   const std::vector<double> &isolated)
+{
+    if (isolated.size() != result.threads.size())
+        fatal("metrics: isolated baselines (", isolated.size(),
+              ") do not match threads (", result.threads.size(), ")");
+    std::vector<double> np;
+    np.reserve(result.threads.size());
+    for (std::size_t i = 0; i < result.threads.size(); ++i) {
+        if (isolated[i] <= 0.0)
+            fatal("metrics: non-positive isolated IPC");
+        if (!result.threads[i].finished)
+            fatal("metrics: thread ", i, " never finished");
+        np.push_back(result.threads[i].ipc() / isolated[i]);
+    }
+    return np;
+}
+
+double
+systemThroughput(const SimResult &result,
+                 const std::vector<double> &isolated_ipc)
+{
+    double stp = 0.0;
+    for (const double np : normalisedProgress(result, isolated_ipc))
+        stp += np;
+    return stp;
+}
+
+double
+avgNormalisedTurnaround(const SimResult &result,
+                        const std::vector<double> &isolated_ipc)
+{
+    const auto np = normalisedProgress(result, isolated_ipc);
+    double antt = 0.0;
+    for (const double progress : np) {
+        if (progress <= 0.0)
+            fatal("metrics: non-positive normalised progress");
+        antt += 1.0 / progress;
+    }
+    return antt / static_cast<double>(np.size());
+}
+
+double
+energyDelayProduct(double avg_power_w, double throughput)
+{
+    if (throughput <= 0.0)
+        fatal("metrics: non-positive throughput");
+    return avg_power_w / (throughput * throughput);
+}
+
+double
+speedup(Cycle baseline_cycles, Cycle cycles)
+{
+    if (cycles == 0)
+        fatal("metrics: zero cycle count");
+    return static_cast<double>(baseline_cycles) /
+        static_cast<double>(cycles);
+}
+
+} // namespace smtflex

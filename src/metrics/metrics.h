@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Multi-program performance metrics (Eyerman & Eeckhout, IEEE Micro 2008):
+ * system throughput (STP, a.k.a. weighted speedup) and average normalised
+ * turnaround time (ANTT), plus energy metrics (EDP).
+ */
+
+#ifndef SMTFLEX_METRICS_METRICS_H
+#define SMTFLEX_METRICS_METRICS_H
+
+#include <vector>
+
+#include "sim/chip_sim.h"
+
+namespace smtflex {
+
+/**
+ * System throughput: sum over programs of IPC_multi / IPC_isolated.
+ * The isolated baselines come from solo runs on the big core (the paper's
+ * normalisation).
+ *
+ * @param result the multi-program run.
+ * @param isolated_ipc per-thread isolated big-core IPC, same order as
+ *        result.threads.
+ */
+double systemThroughput(const SimResult &result,
+                        const std::vector<double> &isolated_ipc);
+
+/**
+ * Average normalised turnaround time: mean over programs of
+ * T_multi / T_isolated = IPC_isolated / IPC_multi. Lower is better; >= 1
+ * when co-running only slows programs down.
+ */
+double avgNormalisedTurnaround(const SimResult &result,
+                               const std::vector<double> &isolated_ipc);
+
+/** Per-program normalised progress (IPC_multi / IPC_iso), STP's addends. */
+std::vector<double> normalisedProgress(const SimResult &result,
+                                       const std::vector<double> &isolated);
+
+/** Energy-delay product given average power and throughput: since delay
+ * per unit of work is 1/throughput, EDP ~ power / throughput^2. */
+double energyDelayProduct(double avg_power_w, double throughput);
+
+/** Speedup of @p cycles versus @p baseline_cycles (same work). */
+double speedup(Cycle baseline_cycles, Cycle cycles);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_METRICS_METRICS_H

@@ -1,0 +1,84 @@
+#include "power_model.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+PowerModel::PowerModel() : params_(PowerParams{})
+{
+}
+
+PowerModel::PowerModel(const PowerParams &params) : params_(params)
+{
+    if (params_.nominalGHz <= 0.0 || params_.avgOpWeight <= 0.0)
+        fatal("PowerModel: bad calibration");
+}
+
+double
+PowerModel::freqScale(const CoreParams &core) const
+{
+    if (core.freqGHz == params_.nominalGHz)
+        return 1.0;
+    return std::pow(core.freqGHz / params_.nominalGHz,
+                    params_.freqExponent);
+}
+
+double
+PowerModel::coreStaticW(const CoreParams &core) const
+{
+    const double cache_kib =
+        static_cast<double>(core.l1i.sizeBytes + core.l1d.sizeBytes +
+                            core.l2.sizeBytes) / 1024.0;
+    const double base = params_.baseStaticW[static_cast<int>(core.type)] +
+        params_.cacheStaticWPerKiB * cache_kib;
+    return base * freqScale(core);
+}
+
+double
+PowerModel::dynEnergyPerWeightedOpJ(const CoreParams &core) const
+{
+    // dynMaxW corresponds to dispatching `width` average-weight ops per
+    // cycle at the nominal frequency.
+    const double rate = core.width * params_.nominalGHz * 1e9;
+    const double base =
+        params_.dynMaxW[static_cast<int>(core.type)] /
+        (rate * params_.avgOpWeight);
+    // At higher frequency each op costs a bit more energy so that power
+    // scales with f^freqExponent (rate itself contributes f^1).
+    const double energy_scale = std::pow(
+        core.freqGHz / params_.nominalGHz, params_.freqExponent - 1.0);
+    return base * energy_scale;
+}
+
+double
+PowerModel::coreDynamicJ(const CoreParams &core, const CoreStats &stats) const
+{
+    const double e_op = dynEnergyPerWeightedOpJ(core);
+    double weighted_ops = 0.0;
+    for (int c = 0; c < kNumOpClasses; ++c)
+        weighted_ops += params_.opWeight[c] *
+            static_cast<double>(stats.dispatched[c]);
+    return weighted_ops * e_op;
+}
+
+double
+PowerModel::coreFullLoadW(const CoreParams &core) const
+{
+    const double dyn =
+        params_.dynMaxW[static_cast<int>(core.type)] *
+        std::pow(core.freqGHz / params_.nominalGHz, params_.freqExponent);
+    return coreStaticW(core) + dyn;
+}
+
+double
+PowerModel::uncoreDynamicJ(std::uint64_t llc_accesses,
+                           std::uint64_t dram_transfers) const
+{
+    return 1e-9 * (params_.llcAccessNj * static_cast<double>(llc_accesses) +
+                   params_.dramAccessNj *
+                       static_cast<double>(dram_transfers));
+}
+
+} // namespace smtflex

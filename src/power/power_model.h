@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Activity-based power/energy model in the spirit of McPAT (45 nm,
+ * aggressive clock gating), calibrated to the paper's published anchors:
+ *
+ *  - full-load core powers giving the 1 big = 2 medium = 5 small
+ *    power-equivalence under the 4B/8m/20s ~46/50/45 W totals,
+ *  - an always-on uncore (shared LLC + DRAM) of ~7 W,
+ *  - power ordering of single-active-core configurations (B > m > s).
+ *
+ * Dynamic energy is charged per dispatched op (class-weighted, so FP and
+ * multiplies cost more), static power per powered-on cycle, with idle cores
+ * optionally power gated by the simulation layer. Frequency variants scale
+ * with an empirical exponent (Section 8.1 "hf" configurations).
+ */
+
+#ifndef SMTFLEX_POWER_POWER_MODEL_H
+#define SMTFLEX_POWER_POWER_MODEL_H
+
+#include <cstdint>
+
+#include "uarch/core.h"
+#include "uarch/core_params.h"
+
+namespace smtflex {
+
+/** Calibration constants of the power model. */
+struct PowerParams
+{
+    /** Non-cache static power per core type [B, m, s] in W. */
+    double baseStaticW[3] = {2.84, 1.62, 0.42};
+    /** Dynamic power at full dispatch of an average mix, per type, W. */
+    double dynMaxW[3] = {4.35, 2.475, 1.0};
+    /** Static power of private caches, W per KiB. */
+    double cacheStaticWPerKiB = 0.008;
+    /** Core power scales with (f/f0)^freqExponent. */
+    double freqExponent = 1.15;
+    /** Nominal frequency the constants are calibrated at. */
+    double nominalGHz = 2.66;
+
+    /** Always-on uncore (LLC + DRAM background), W. */
+    double uncoreStaticW = 7.0;
+    /** Dynamic energy per LLC access, nJ. */
+    double llcAccessNj = 1.2;
+    /** Dynamic energy per DRAM line transfer, nJ. */
+    double dramAccessNj = 12.0;
+
+    /** Relative dynamic energy per op class (kIntAlu..kBranch order). */
+    double opWeight[kNumOpClasses] = {1.0, 2.5, 2.0, 1.3, 1.3, 0.8};
+    /** Mean op weight of a typical mix (normalises dynMaxW). */
+    double avgOpWeight = 1.2;
+};
+
+/**
+ * Converts activity counts into energy and power.
+ */
+class PowerModel
+{
+  public:
+    /** Default paper calibration. */
+    PowerModel();
+    explicit PowerModel(const PowerParams &params);
+
+    /** Static power of one powered-on core, W (includes private caches and
+     * frequency scaling). */
+    double coreStaticW(const CoreParams &core) const;
+
+    /** Dynamic energy a core consumed given its activity counters, J. */
+    double coreDynamicJ(const CoreParams &core, const CoreStats &stats) const;
+
+    /** Estimated power at full dispatch, W (validation/reporting). */
+    double coreFullLoadW(const CoreParams &core) const;
+
+    /** Always-on uncore power, W. */
+    double uncoreStaticW() const { return params_.uncoreStaticW; }
+
+    /** Dynamic uncore energy, J. */
+    double uncoreDynamicJ(std::uint64_t llc_accesses,
+                          std::uint64_t dram_transfers) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    double freqScale(const CoreParams &core) const;
+    double dynEnergyPerWeightedOpJ(const CoreParams &core) const;
+
+    PowerParams params_;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_POWER_POWER_MODEL_H

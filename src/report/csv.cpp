@@ -1,0 +1,78 @@
+#include "csv.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string quoted = "\"";
+    for (const char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+CsvWriter::CsvWriter(std::ostream &out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size())
+{
+    if (columns.empty())
+        fatal("CsvWriter: no columns");
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        out_ << (i ? "," : "") << escape(columns[i]);
+    out_ << "\n";
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &values)
+{
+    if (values.size() != columns_)
+        fatal("CsvWriter: row has ", values.size(), " fields, header has ",
+              columns_);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out_ << (i ? "," : "") << escape(values[i]);
+    out_ << "\n";
+    ++rows_;
+}
+
+CsvWriter::RowBuilder &
+CsvWriter::RowBuilder::add(const std::string &value)
+{
+    values_.push_back(value);
+    return *this;
+}
+
+CsvWriter::RowBuilder &
+CsvWriter::RowBuilder::add(double value)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << value;
+    values_.push_back(os.str());
+    return *this;
+}
+
+CsvWriter::RowBuilder &
+CsvWriter::RowBuilder::add(std::uint64_t value)
+{
+    values_.push_back(std::to_string(value));
+    return *this;
+}
+
+void
+CsvWriter::RowBuilder::done()
+{
+    writer_.row(values_);
+}
+
+} // namespace smtflex

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal CSV writing: proper quoting, fixed column sets, stream-based so
+ * it works for files and tests alike. Used to export simulation results
+ * for external plotting.
+ */
+
+#ifndef SMTFLEX_REPORT_CSV_H
+#define SMTFLEX_REPORT_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smtflex {
+
+/**
+ * Writes rows of a fixed-width CSV table with RFC-4180-style quoting.
+ */
+class CsvWriter
+{
+  public:
+    /** Bind to a stream and emit the header row. */
+    CsvWriter(std::ostream &out, std::vector<std::string> columns);
+
+    /** Append one row; must match the column count. */
+    void row(const std::vector<std::string> &values);
+
+    /** Convenience: mixed string/double row. */
+    class RowBuilder
+    {
+      public:
+        explicit RowBuilder(CsvWriter &writer) : writer_(writer) {}
+        RowBuilder &add(const std::string &value);
+        RowBuilder &add(double value);
+        RowBuilder &add(std::uint64_t value);
+        /** Emit the row. */
+        void done();
+
+      private:
+        CsvWriter &writer_;
+        std::vector<std::string> values_;
+    };
+
+    RowBuilder beginRow() { return RowBuilder(*this); }
+
+    std::size_t rowsWritten() const { return rows_; }
+
+    /** Quote a field per RFC 4180 when needed. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &out_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_REPORT_CSV_H

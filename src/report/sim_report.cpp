@@ -1,0 +1,107 @@
+#include "sim_report.h"
+
+#include <iomanip>
+
+#include "report/csv.h"
+#include "sim/power_summary.h"
+
+namespace smtflex {
+
+void
+writeTextReport(std::ostream &out, const SimResult &result,
+                const PowerModel &power)
+{
+    out << "=== smtflex simulation report: " << result.configName
+        << " ===\n";
+    out << "cycles: " << result.cycles << " ("
+        << std::setprecision(4) << result.seconds() * 1e6 << " us @ "
+        << result.chipFreqGHz << " GHz)\n";
+    if (result.hitCycleLimit)
+        out << "WARNING: run hit the cycle limit\n";
+
+    out << "\nthreads (" << result.threads.size() << "):\n";
+    for (const auto &t : result.threads) {
+        out << "  " << std::left << std::setw(14) << t.benchmark
+            << std::right << " ipc " << std::fixed << std::setprecision(3)
+            << t.ipc() << (t.finished ? "" : "  [unfinished]") << "\n";
+        out.unsetf(std::ios::fixed);
+    }
+
+    out << "\ncores (" << result.cores.size() << "):\n";
+    for (std::size_t i = 0; i < result.cores.size(); ++i) {
+        const auto &core = result.cores[i];
+        const double cycles = static_cast<double>(
+            std::max<Cycle>(core.stats.coreCycles, 1));
+        out << "  core" << i << " (" << core.params.name << "): retired "
+            << core.stats.retired << ", ipc " << std::fixed
+            << std::setprecision(3) << core.stats.retired / cycles
+            << ", busy " << core.stats.busyCycles / cycles << ", l1d miss "
+            << core.l1d.missRate() << ", l2 miss " << core.l2.missRate()
+            << "\n";
+        out.unsetf(std::ios::fixed);
+    }
+
+    const PowerSummary gated = summarisePower(result, power, true);
+    out << "\nshared: llc miss " << std::fixed << std::setprecision(3)
+        << result.llc.missRate() << ", dram reads " << result.dram.reads
+        << ", writes " << result.dram.writes << ", avg read latency "
+        << std::setprecision(1) << result.dram.avgReadLatency() << "\n";
+    out << "power (gated): " << gated.avgPowerW << " W, energy "
+        << std::scientific << std::setprecision(2) << gated.energyJ
+        << " J\n";
+    out.unsetf(std::ios::scientific);
+    out.unsetf(std::ios::fixed);
+}
+
+void
+writeThreadCsv(std::ostream &out, const SimResult &result)
+{
+    CsvWriter csv(out, {"config", "thread", "benchmark", "budget",
+                        "start_cycle", "finish_cycle", "ipc", "finished"});
+    for (std::size_t i = 0; i < result.threads.size(); ++i) {
+        const auto &t = result.threads[i];
+        csv.beginRow()
+            .add(result.configName)
+            .add(static_cast<std::uint64_t>(i))
+            .add(t.benchmark)
+            .add(static_cast<std::uint64_t>(t.budget))
+            .add(static_cast<std::uint64_t>(t.startCycle))
+            .add(static_cast<std::uint64_t>(
+                t.finished ? t.finishCycle : 0))
+            .add(t.ipc())
+            .add(std::string(t.finished ? "1" : "0"))
+            .done();
+    }
+}
+
+void
+writeCoreCsv(std::ostream &out, const SimResult &result,
+             const PowerModel &power)
+{
+    CsvWriter csv(out, {"config", "core", "type", "retired", "core_cycles",
+                        "busy_frac", "l1i_miss", "l1d_miss", "l2_miss",
+                        "powered_frac", "static_w", "dynamic_j"});
+    for (std::size_t i = 0; i < result.cores.size(); ++i) {
+        const auto &core = result.cores[i];
+        const double cycles = static_cast<double>(
+            std::max<Cycle>(core.stats.coreCycles, 1));
+        const double total = static_cast<double>(
+            std::max<Cycle>(result.cycles, 1));
+        csv.beginRow()
+            .add(result.configName)
+            .add(static_cast<std::uint64_t>(i))
+            .add(std::string(coreTypeTag(core.params.type)))
+            .add(static_cast<std::uint64_t>(core.stats.retired))
+            .add(static_cast<std::uint64_t>(core.stats.coreCycles))
+            .add(core.stats.busyCycles / cycles)
+            .add(core.l1i.missRate())
+            .add(core.l1d.missRate())
+            .add(core.l2.missRate())
+            .add(core.poweredCycles / total)
+            .add(power.coreStaticW(core.params))
+            .add(power.coreDynamicJ(core.params, core.stats))
+            .done();
+    }
+}
+
+} // namespace smtflex

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Structured reporting of simulation results: a human-readable text
+ * summary and CSV exports (per-thread and per-core rows) for external
+ * plotting.
+ */
+
+#ifndef SMTFLEX_REPORT_SIM_REPORT_H
+#define SMTFLEX_REPORT_SIM_REPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "power/power_model.h"
+#include "sim/chip_sim.h"
+
+namespace smtflex {
+
+/** Write a readable multi-line summary of @p result to @p out. */
+void writeTextReport(std::ostream &out, const SimResult &result,
+                     const PowerModel &power);
+
+/** Write one CSV row per thread: benchmark, ipc, window cycles, etc. */
+void writeThreadCsv(std::ostream &out, const SimResult &result);
+
+/** Write one CSV row per core: type, retired, ipc, cache miss rates,
+ * powered fraction, estimated power. */
+void writeCoreCsv(std::ostream &out, const SimResult &result,
+                  const PowerModel &power);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_REPORT_SIM_REPORT_H

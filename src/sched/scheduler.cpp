@@ -1,0 +1,228 @@
+#include "scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+void
+OfflineProfile::set(const std::string &bench, CoreType type, double ipc)
+{
+    if (ipc <= 0.0)
+        fatal("OfflineProfile: non-positive IPC for ", bench);
+    table_[{bench, static_cast<int>(type)}] = ipc;
+}
+
+bool
+OfflineProfile::has(const std::string &bench, CoreType type) const
+{
+    return table_.count({bench, static_cast<int>(type)}) > 0;
+}
+
+double
+OfflineProfile::ipc(const std::string &bench, CoreType type) const
+{
+    const auto it = table_.find({bench, static_cast<int>(type)});
+    if (it == table_.end())
+        fatal("OfflineProfile: no entry for ", bench, " on core type ",
+              static_cast<int>(type));
+    return it->second;
+}
+
+double
+OfflineProfile::bigAffinity(const std::string &bench) const
+{
+    return ipc(bench, CoreType::kBig) / ipc(bench, CoreType::kSmall);
+}
+
+std::vector<Placement::Entry>
+slotFillOrder(const ChipConfig &config)
+{
+    // Core visit order: big cores first, then medium, then small; stable
+    // within a type.
+    std::vector<std::uint32_t> core_order(config.numCores());
+    std::iota(core_order.begin(), core_order.end(), 0u);
+    std::stable_sort(core_order.begin(), core_order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return static_cast<int>(config.cores[a].type) <
+                                static_cast<int>(config.cores[b].type);
+                     });
+
+    std::uint32_t max_contexts = 0;
+    for (std::uint32_t i = 0; i < config.numCores(); ++i)
+        max_contexts = std::max(max_contexts, config.contextsOf(i));
+
+    std::vector<Placement::Entry> order;
+    order.reserve(config.totalContexts());
+    for (std::uint32_t round = 0; round < max_contexts; ++round) {
+        for (const std::uint32_t core : core_order) {
+            if (round < config.contextsOf(core))
+                order.push_back({core, round});
+        }
+    }
+    return order;
+}
+
+Placement
+scheduleNaive(const ChipConfig &config, std::size_t num_threads)
+{
+    if (num_threads == 0)
+        fatal("scheduleNaive: no threads");
+    const auto order = slotFillOrder(config);
+    Placement placement;
+    placement.entries.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        placement.entries.push_back(order[i % order.size()]);
+    return placement;
+}
+
+namespace {
+
+/** Estimated memory intensity of a profile (drives symbiosis pairing). */
+double
+memoryIntensity(const BenchmarkProfile &profile)
+{
+    // Fraction of instructions that access data beyond a typical private
+    // hierarchy: mem-op fraction times far-footprint fraction.
+    const double mem_ops = profile.mix.load + profile.mix.store;
+    return mem_ops * profile.memFootprintBeyond(256 * 1024);
+}
+
+/** Affinity estimate without isolated runs: how much a profile is expected
+ * to gain from a big OoO core (more ILP, fewer stalls). */
+double
+staticBigAffinity(const BenchmarkProfile &profile)
+{
+    // ILP-rich, well-predicted, cache-resident codes gain the most from a
+    // wide out-of-order core; memory-bound codes gain the least.
+    const double ilp = profile.meanDepDist * (1.0 + profile.depNoneProb);
+    const double mem_penalty = 1.0 + 4.0 * memoryIntensity(profile);
+    const double branch_penalty =
+        1.0 + 20.0 * profile.branchMispredictRate;
+    return ilp / (mem_penalty * branch_penalty);
+}
+
+} // namespace
+
+Placement
+scheduleOffline(const ChipConfig &config,
+                const std::vector<ThreadSpec> &specs,
+                const OfflineProfile &offline)
+{
+    if (specs.empty())
+        fatal("scheduleOffline: no threads");
+    for (const auto &spec : specs) {
+        if (!spec.profile)
+            fatal("scheduleOffline: thread without profile");
+    }
+
+    const auto order = slotFillOrder(config);
+    const std::size_t n = specs.size();
+
+    // Slots actually used this run (wrap into time-sharing if needed).
+    std::vector<Placement::Entry> used;
+    used.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        used.push_back(order[i % order.size()]);
+
+    // Rank threads: most big-core-affine first.
+    std::vector<std::size_t> thread_rank(n);
+    std::iota(thread_rank.begin(), thread_rank.end(), std::size_t{0});
+    auto affinity = [&](std::size_t t) {
+        const auto &profile = *specs[t].profile;
+        if (offline.has(profile.name, CoreType::kBig) &&
+            offline.has(profile.name, CoreType::kSmall)) {
+            return offline.bigAffinity(profile.name);
+        }
+        return staticBigAffinity(profile);
+    };
+    std::stable_sort(thread_rank.begin(), thread_rank.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return affinity(a) > affinity(b);
+                     });
+
+    // Order the used slots by core type (big first), keeping per-core
+    // grouping so we can deal threads serpentine across the cores of a
+    // type class.
+    std::stable_sort(used.begin(), used.end(),
+                     [&](const Placement::Entry &a,
+                         const Placement::Entry &b) {
+                         return static_cast<int>(config.cores[a.core].type) <
+                                static_cast<int>(config.cores[b.core].type);
+                     });
+
+    Placement placement;
+    placement.entries.resize(n);
+
+    std::size_t next_thread = 0;
+    std::size_t i = 0;
+    while (i < used.size()) {
+        // One core-type class at a time.
+        const CoreType type = config.cores[used[i].core].type;
+        std::size_t j = i;
+        while (j < used.size() &&
+               config.cores[used[j].core].type == type) {
+            ++j;
+        }
+        const std::size_t class_slots = j - i;
+
+        // The next class_slots highest-affinity threads belong here; deal
+        // them serpentine by memory intensity so every core of the class
+        // gets a balanced (symbiotic) mix.
+        std::vector<std::size_t> class_threads(
+            thread_rank.begin() + static_cast<std::ptrdiff_t>(next_thread),
+            thread_rank.begin() +
+                static_cast<std::ptrdiff_t>(next_thread + class_slots));
+        next_thread += class_slots;
+        std::stable_sort(class_threads.begin(), class_threads.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return memoryIntensity(*specs[a].profile) >
+                                    memoryIntensity(*specs[b].profile);
+                         });
+
+        // Distinct cores of this class, in slot order.
+        std::vector<std::uint32_t> class_cores;
+        for (std::size_t k = i; k < j; ++k) {
+            if (std::find(class_cores.begin(), class_cores.end(),
+                          used[k].core) == class_cores.end())
+                class_cores.push_back(used[k].core);
+        }
+
+        // Serpentine deal across the cores; track per-core slot cursors.
+        std::map<std::uint32_t, std::vector<Placement::Entry>> slots_of;
+        for (std::size_t k = i; k < j; ++k)
+            slots_of[used[k].core].push_back(used[k]);
+
+        std::size_t deal = 0;
+        bool forward = true;
+        std::size_t core_idx = 0;
+        while (deal < class_threads.size()) {
+            const std::uint32_t core = class_cores[core_idx];
+            auto &avail = slots_of[core];
+            if (!avail.empty()) {
+                placement.entries[class_threads[deal]] = avail.front();
+                avail.erase(avail.begin());
+                ++deal;
+            }
+            // Snake over the cores: L-to-R then R-to-L, so heavy and light
+            // threads interleave on every core.
+            if (forward) {
+                if (core_idx + 1 >= class_cores.size())
+                    forward = false;
+                else
+                    ++core_idx;
+            } else {
+                if (core_idx == 0)
+                    forward = true;
+                else
+                    --core_idx;
+            }
+        }
+        i = j;
+    }
+    return placement;
+}
+
+} // namespace smtflex

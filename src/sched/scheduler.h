@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Thread-to-core scheduling policies (paper Section 3.2).
+ *
+ * Placement policy (all schedulers): fill big cores before smaller ones,
+ * and distribute threads across cores before engaging SMT; when threads
+ * outnumber hardware contexts (no-SMT runs), wrap around and time-share.
+ *
+ * Program-to-core assignment: the paper uses offline analysis — isolated
+ * per-(benchmark, core-type) runs steer which program lands on which core
+ * type, and complementary programs are co-scheduled on SMT contexts. The
+ * OfflineScheduler implements that methodology from an OfflineProfile; the
+ * NaiveScheduler ignores program characteristics (ablation baseline).
+ */
+
+#ifndef SMTFLEX_SCHED_SCHEDULER_H
+#define SMTFLEX_SCHED_SCHEDULER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/chip_config.h"
+#include "sim/chip_sim.h"
+
+namespace smtflex {
+
+/**
+ * Results of the offline analysis: isolated IPC of each benchmark on each
+ * core type (the paper's single-program characterisation runs).
+ */
+class OfflineProfile
+{
+  public:
+    /** Record the isolated IPC of @p bench on @p type. */
+    void set(const std::string &bench, CoreType type, double ipc);
+
+    bool has(const std::string &bench, CoreType type) const;
+
+    /** Isolated IPC; fatal() if missing. */
+    double ipc(const std::string &bench, CoreType type) const;
+
+    /**
+     * How much @p bench gains from a big core versus a small one
+     * (IPC_big / IPC_small) — programs with high affinity deserve the big
+     * cores of a heterogeneous chip.
+     */
+    double bigAffinity(const std::string &bench) const;
+
+    bool empty() const { return table_.empty(); }
+
+  private:
+    std::map<std::pair<std::string, int>, double> table_;
+};
+
+/**
+ * The slot fill order of a chip: all cores' context 0 (big cores first),
+ * then context 1 across cores, and so on — "spread before SMT".
+ */
+std::vector<Placement::Entry> slotFillOrder(const ChipConfig &config);
+
+/**
+ * Naive placement: thread i takes the i-th slot in fill order (wrapping
+ * into time-sharing when threads outnumber contexts).
+ */
+Placement scheduleNaive(const ChipConfig &config, std::size_t num_threads);
+
+/**
+ * Offline-analysis placement (the paper's methodology):
+ *  - slots are allocated in fill order;
+ *  - programs with the highest big-core affinity get the big-core slots;
+ *  - within a core type, programs are dealt serpentine by memory intensity
+ *    so each core co-schedules memory-intensive with compute-intensive
+ *    programs (symbiotic SMT co-scheduling).
+ *
+ * @param specs the workload (profiles are consulted for memory intensity).
+ * @param offline isolated-run table; if empty, falls back to profile-based
+ *        affinity estimates.
+ */
+Placement scheduleOffline(const ChipConfig &config,
+                          const std::vector<ThreadSpec> &specs,
+                          const OfflineProfile &offline);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_SCHED_SCHEDULER_H

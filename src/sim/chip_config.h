@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Configuration of one simulated multi-core chip: the core mix, SMT setting,
+ * shared LLC, crossbar and DRAM parameters.
+ */
+
+#ifndef SMTFLEX_SIM_CHIP_CONFIG_H
+#define SMTFLEX_SIM_CHIP_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "dram/dram.h"
+#include "uarch/core_params.h"
+#include "xbar/crossbar.h"
+#include "xbar/mesh.h"
+
+namespace smtflex {
+
+/** A complete chip description. */
+struct ChipConfig
+{
+    /** Display name, e.g. "4B", "3B2m", "20s". */
+    std::string name;
+    /** Per-core parameters, big cores first by convention. */
+    std::vector<CoreParams> cores;
+    /** SMT on: each core exposes its full context count; off: one context
+     * per core (extra threads time-share). */
+    bool smtEnabled = true;
+
+    /** Shared last-level cache (same for all designs: 8 MB, 16-way). */
+    CacheGeometry llc{8 * 1024 * 1024, 16};
+    /** LLC lookup latency (after interconnect traversal), global cycles. */
+    std::uint32_t llcLatency = 20;
+    CrossbarConfig xbar;
+    /** Use a 2D mesh instead of the paper's full crossbar (ablation). */
+    bool useMesh = false;
+    MeshConfig mesh;
+    DramConfig dram;
+    /** Chip (uncore) clock in GHz. */
+    double chipFreqGHz = 2.66;
+
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores.size());
+    }
+
+    /** Hardware thread contexts exposed under the SMT setting. */
+    std::uint32_t totalContexts() const;
+
+    /** Contexts exposed by core @p i under the SMT setting. */
+    std::uint32_t contextsOf(std::uint32_t core) const;
+
+    /** Convenience: @p count copies of @p core named @p name. */
+    static ChipConfig homogeneous(const std::string &name,
+                                  const CoreParams &core,
+                                  std::uint32_t count);
+
+    /** Convenience: @p big_count big cores plus @p small_count of
+     * @p small_type cores. */
+    static ChipConfig heterogeneous(const std::string &name,
+                                    std::uint32_t big_count,
+                                    const CoreParams &small_type,
+                                    std::uint32_t small_count);
+
+    /** Same chip with SMT switched on/off. */
+    ChipConfig withSmt(bool enabled) const;
+    /** Same chip with a different memory bandwidth (Section 8.2). */
+    ChipConfig withBandwidth(double gbps) const;
+
+    void validate() const;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_SIM_CHIP_CONFIG_H

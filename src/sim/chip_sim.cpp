@@ -1,0 +1,258 @@
+#include "chip_sim.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+double
+SimResult::aggregateIpc() const
+{
+    double sum = 0.0;
+    for (const auto &t : threads)
+        sum += t.ipc();
+    return sum;
+}
+
+ChipSim::ChipSim(const ChipConfig &config)
+    : config_(config), shared_(config),
+      activeHistogram_(config.totalContexts() + 8)
+{
+    config_.validate();
+    cores_.reserve(config_.numCores());
+    for (std::uint32_t i = 0; i < config_.numCores(); ++i) {
+        cores_.push_back(makeCore(config_.cores[i], i,
+                                  config_.contextsOf(i), &shared_,
+                                  config_.chipFreqGHz));
+    }
+    poweredCycles_.assign(config_.numCores(), 0);
+}
+
+void
+ChipSim::attach(std::uint32_t core, std::uint32_t slot, ThreadSource *t)
+{
+    cores_.at(core)->attachThread(slot, t);
+    ++attachedThreads_;
+}
+
+ThreadSource *
+ChipSim::detach(std::uint32_t core, std::uint32_t slot)
+{
+    ThreadSource *old = cores_.at(core)->detachThread(slot);
+    if (old)
+        --attachedThreads_;
+    return old;
+}
+
+void
+ChipSim::tick()
+{
+    ++now_;
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        Core &core = *cores_[i];
+        const bool powered = core.activeContexts() > 0;
+        poweredCycles_[i] += powered;
+        if (powered || !core.quiescent())
+            core.tick(now_);
+    }
+    activeHistogram_.add(attachedThreads_, 1.0);
+}
+
+void
+ChipSim::warmAllCaches(const std::vector<WarmSpec> &specs)
+{
+    // Gather each thread's resident lines (coldest/largest regions first,
+    // hottest last — forEachResidentLine's order).
+    struct WarmLine
+    {
+        Addr addr;
+        bool isCode;
+    };
+    std::vector<std::vector<WarmLine>> lines(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        TraceGenerator::forEachResidentLine(
+            *specs[i].profile, specs[i].space, config_.llc.sizeBytes,
+            [&](Addr addr, bool is_code) {
+                lines[i].push_back({addr, is_code});
+            });
+    }
+
+    // Interleaved installation, chunked to amortise the loop overhead.
+    constexpr std::size_t kChunkLines = 128;
+    bool more = true;
+    for (std::size_t chunk = 0; more; ++chunk) {
+        more = false;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const std::size_t begin = chunk * kChunkLines;
+            if (begin >= lines[i].size())
+                continue;
+            const std::size_t end =
+                std::min(begin + kChunkLines, lines[i].size());
+            Core &target = *cores_.at(specs[i].core);
+            for (std::size_t k = begin; k < end; ++k) {
+                target.hierarchy().warmLine(lines[i][k].addr,
+                                            lines[i][k].isCode, true);
+                shared_.warmLine(lines[i][k].addr);
+            }
+            more = true;
+        }
+    }
+}
+
+void
+ChipSim::warmThreadCaches(std::uint32_t core, const BenchmarkProfile &profile,
+                          const AddressSpace &space)
+{
+    warmAllCaches({WarmSpec{&profile, space, core}});
+}
+
+void
+ChipSim::validatePlacement(const Placement &placement,
+                           std::size_t num_threads) const
+{
+    if (placement.entries.size() != num_threads)
+        fatal("ChipSim: placement covers ", placement.entries.size(),
+              " threads, workload has ", num_threads);
+    for (const auto &entry : placement.entries) {
+        if (entry.core >= cores_.size())
+            fatal("ChipSim: placement names bad core ", entry.core);
+        if (entry.slot >= cores_[entry.core]->numContexts())
+            fatal("ChipSim: placement names bad slot ", entry.slot,
+                  " on core ", entry.core);
+    }
+}
+
+SimResult
+ChipSim::runMultiProgram(const std::vector<ThreadSpec> &specs,
+                         const Placement &placement, std::uint64_t seed,
+                         const RunLimits &limits)
+{
+    if (specs.empty())
+        fatal("ChipSim: empty workload");
+    validatePlacement(placement, specs.size());
+
+    // Materialise the threads.
+    std::vector<std::unique_ptr<SimThread>> threads;
+    threads.reserve(specs.size());
+    for (std::uint32_t i = 0; i < specs.size(); ++i) {
+        if (!specs[i].profile || specs[i].budget == 0)
+            fatal("ChipSim: bad thread spec ", i);
+        threads.push_back(std::make_unique<SimThread>(
+            *specs[i].profile, seed, i, specs[i].budget,
+            /*restart=*/true, specs[i].warmup));
+    }
+
+    // Group threads by context slot; oversubscribed slots time-share.
+    struct SlotShare
+    {
+        std::uint32_t core, slot;
+        std::vector<std::uint32_t> threads; // thread ids sharing this slot
+        std::uint32_t resident = 0;         // index into threads
+    };
+    std::vector<SlotShare> shares;
+    for (std::uint32_t i = 0; i < specs.size(); ++i) {
+        const auto &entry = placement.entries[i];
+        auto it = std::find_if(shares.begin(), shares.end(),
+                               [&](const SlotShare &s) {
+                                   return s.core == entry.core &&
+                                          s.slot == entry.slot;
+                               });
+        if (it == shares.end()) {
+            shares.push_back({entry.core, entry.slot, {i}, 0});
+        } else {
+            it->threads.push_back(i);
+        }
+    }
+
+    bool time_sharing = false;
+    for (auto &share : shares) {
+        attach(share.core, share.slot, threads[share.threads[0]].get());
+        time_sharing |= share.threads.size() > 1;
+    }
+
+    // Functional warmup: every thread's resident working set is installed
+    // on its core and in the LLC before timing starts.
+    std::vector<WarmSpec> warm;
+    warm.reserve(specs.size());
+    for (std::uint32_t i = 0; i < specs.size(); ++i) {
+        warm.push_back({specs[i].profile, AddressSpace::forThread(i),
+                        placement.entries[i].core});
+    }
+    warmAllCaches(warm);
+
+    // Main loop: run until every thread finished its budget once.
+    std::size_t finished = 0;
+    std::vector<bool> seen_finished(threads.size(), false);
+    while (finished < threads.size() && now_ < limits.maxCycles) {
+        tick();
+
+        if (time_sharing && now_ % limits.quantum == 0) {
+            for (auto &share : shares) {
+                if (share.threads.size() < 2)
+                    continue;
+                detach(share.core, share.slot);
+                share.resident = (share.resident + 1) %
+                    static_cast<std::uint32_t>(share.threads.size());
+                attach(share.core, share.slot,
+                       threads[share.threads[share.resident]].get());
+            }
+        }
+
+        // Cheap periodic completion check.
+        if (now_ % 256 == 0 || !time_sharing) {
+            for (std::uint32_t i = 0; i < threads.size(); ++i) {
+                if (!seen_finished[i] && threads[i]->finished()) {
+                    seen_finished[i] = true;
+                    ++finished;
+                }
+            }
+        }
+    }
+    hitCycleLimit_ = now_ >= limits.maxCycles;
+    if (hitCycleLimit_)
+        warn("ChipSim ", config_.name, ": hit cycle limit at ", now_);
+
+    SimResult result = collectResult();
+    result.threads.clear();
+    for (const auto &thread : threads) {
+        ThreadResult tr;
+        tr.benchmark = thread->benchmark();
+        tr.budget = thread->budget();
+        tr.finished = thread->finished();
+        tr.startCycle = thread->startCycle();
+        tr.finishCycle = thread->finishCycle();
+        result.threads.push_back(std::move(tr));
+    }
+    return result;
+}
+
+SimResult
+ChipSim::collectResult() const
+{
+    SimResult result;
+    result.configName = config_.name;
+    result.cycles = now_;
+    result.chipFreqGHz = config_.chipFreqGHz;
+    result.hitCycleLimit = hitCycleLimit_;
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const Core &core = *cores_[i];
+        CoreResult cr;
+        cr.params = core.params();
+        cr.stats = core.stats();
+        cr.l1i = core.hierarchy().l1i().stats();
+        cr.l1d = core.hierarchy().l1d().stats();
+        cr.l2 = core.hierarchy().l2().stats();
+        cr.poweredCycles = poweredCycles_[i];
+        result.cores.push_back(std::move(cr));
+    }
+    result.llc = shared_.llc().stats();
+    result.dram = shared_.dram().stats();
+    result.xbar = shared_.crossbar().stats();
+    result.activeThreadFractions.resize(activeHistogram_.numBuckets());
+    for (std::size_t k = 0; k < activeHistogram_.numBuckets(); ++k)
+        result.activeThreadFractions[k] = activeHistogram_.fraction(k);
+    return result;
+}
+
+} // namespace smtflex

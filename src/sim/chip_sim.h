@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The multi-core chip simulator: couples the cores to the shared memory
+ * system, advances global time, manages thread placement (including
+ * time-sharing when threads outnumber hardware contexts), and collects
+ * results.
+ */
+
+#ifndef SMTFLEX_SIM_CHIP_SIM_H
+#define SMTFLEX_SIM_CHIP_SIM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/chip_config.h"
+#include "sim/shared_memory.h"
+#include "sim/sim_thread.h"
+#include "uarch/core.h"
+
+namespace smtflex {
+
+/** One program of a multi-program workload. */
+struct ThreadSpec
+{
+    const BenchmarkProfile *profile = nullptr;
+    InstrCount budget = 0;
+    /** Unmeasured cold-start instructions before the measured window. */
+    InstrCount warmup = 0;
+};
+
+/** Thread -> (core, SMT context slot) mapping. Multiple threads may map to
+ * the same slot; they then time-share it with round-robin quanta. */
+struct Placement
+{
+    struct Entry
+    {
+        std::uint32_t core = 0;
+        std::uint32_t slot = 0;
+    };
+    std::vector<Entry> entries; ///< indexed by thread id
+};
+
+/** Per-thread outcome of a run. */
+struct ThreadResult
+{
+    std::string benchmark;
+    InstrCount budget = 0;
+    Cycle startCycle = 0; ///< measured window start (warmup retired)
+    Cycle finishCycle = kCycleNever;
+    bool finished = false;
+
+    /** Instructions per global cycle over the measured window. */
+    double ipc() const
+    {
+        return finished ? static_cast<double>(budget) /
+                static_cast<double>(finishCycle - startCycle)
+                        : 0.0;
+    }
+};
+
+/** Per-core outcome of a run. */
+struct CoreResult
+{
+    CoreParams params;
+    CoreStats stats;
+    CacheStats l1i, l1d, l2;
+    /** Global cycles during which at least one thread was attached. */
+    Cycle poweredCycles = 0;
+};
+
+/** Complete outcome of a run. */
+struct SimResult
+{
+    std::string configName;
+    Cycle cycles = 0;            ///< run length in global cycles
+    double chipFreqGHz = 2.66;
+    bool hitCycleLimit = false;
+    std::vector<ThreadResult> threads;
+    std::vector<CoreResult> cores;
+    CacheStats llc;
+    DramStats dram;
+    CrossbarStats xbar;
+    /** Fraction of time with k attached threads, k = 0..totalContexts. */
+    std::vector<double> activeThreadFractions;
+
+    /** Seconds of simulated wall-clock time. */
+    double seconds() const
+    {
+        return static_cast<double>(cycles) / (chipFreqGHz * 1e9);
+    }
+
+    /** Sum of per-thread IPCs (throughput in instructions/cycle). */
+    double aggregateIpc() const;
+};
+
+/** Safety limits of a run. */
+struct RunLimits
+{
+    Cycle maxCycles = 400'000'000;
+    /** Time-sharing quantum for oversubscribed context slots. */
+    Cycle quantum = 5'000;
+};
+
+/**
+ * The chip: cores + shared memory + global clock.
+ *
+ * High-level use: runMultiProgram() for the paper's multi-program
+ * methodology. Low-level use (multi-threaded workloads with
+ * synchronisation): construct, attach ThreadSources, and tick() under an
+ * external controller (see workload/parsec).
+ */
+class ChipSim
+{
+  public:
+    explicit ChipSim(const ChipConfig &config);
+
+    const ChipConfig &config() const { return config_; }
+    Cycle now() const { return now_; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+    Core &core(std::uint32_t i) { return *cores_.at(i); }
+    const Core &core(std::uint32_t i) const { return *cores_.at(i); }
+    SharedMemory &sharedMemory() { return shared_; }
+
+    /** Attach/detach with central active-thread bookkeeping. */
+    void attach(std::uint32_t core, std::uint32_t slot, ThreadSource *t);
+    ThreadSource *detach(std::uint32_t core, std::uint32_t slot);
+
+    /** Number of threads currently attached chip-wide. */
+    std::uint32_t attachedThreads() const { return attachedThreads_; }
+
+    /** Advance one global cycle (ticks every non-quiescent core and
+     * accumulates power/active-thread accounting). */
+    void tick();
+
+    /** One thread's working set to warm (see warmAllCaches). */
+    struct WarmSpec
+    {
+        const BenchmarkProfile *profile = nullptr;
+        AddressSpace space;
+        std::uint32_t core = 0;
+    };
+
+    /**
+     * Functional cache warmup (sampled-simulation style): install every
+     * thread's cache-resident working set into its core's private
+     * hierarchy and the shared LLC, in zero simulated time. Installation
+     * is interleaved across threads in chunks so that shared-cache (LLC)
+     * capacity pressure evicts every thread's coldest lines evenly rather
+     * than wiping out whichever thread was installed first. Streaming and
+     * larger-than-LLC regions are skipped — missing is their steady state.
+     */
+    void warmAllCaches(const std::vector<WarmSpec> &specs);
+
+    /** Convenience wrapper for a single thread. */
+    void warmThreadCaches(std::uint32_t core, const BenchmarkProfile &profile,
+                          const AddressSpace &space);
+
+    /**
+     * Run a multi-program workload to completion: every thread executes its
+     * budget at least once (finished threads restart and keep contending).
+     */
+    SimResult runMultiProgram(const std::vector<ThreadSpec> &threads,
+                              const Placement &placement,
+                              std::uint64_t seed,
+                              const RunLimits &limits = RunLimits{});
+
+    /** Snapshot results of a low-level (externally driven) run. */
+    SimResult collectResult() const;
+
+  private:
+    void validatePlacement(const Placement &placement,
+                           std::size_t num_threads) const;
+
+    ChipConfig config_;
+    SharedMemory shared_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    Cycle now_ = 0;
+    std::uint32_t attachedThreads_ = 0;
+    /** Powered (>= 1 attached thread) cycle counters per core. */
+    std::vector<Cycle> poweredCycles_;
+    /** Time-weighted histogram of attached thread counts. */
+    Histogram activeHistogram_;
+    bool hitCycleLimit_ = false;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_SIM_CHIP_SIM_H

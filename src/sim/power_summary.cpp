@@ -1,0 +1,39 @@
+#include "power_summary.h"
+
+namespace smtflex {
+
+PowerSummary
+summarisePower(const SimResult &result, const PowerModel &model,
+               bool gate_idle_cores)
+{
+    PowerSummary summary;
+    if (result.cycles == 0)
+        return summary;
+
+    const double seconds = result.seconds();
+    const double total_cycles = static_cast<double>(result.cycles);
+
+    double static_j = 0.0;
+    double dynamic_j = 0.0;
+    for (const auto &core : result.cores) {
+        const double powered_frac = gate_idle_cores
+            ? static_cast<double>(core.poweredCycles) / total_cycles
+            : 1.0;
+        static_j += model.coreStaticW(core.params) * powered_frac * seconds;
+        dynamic_j += model.coreDynamicJ(core.params, core.stats);
+    }
+
+    const std::uint64_t dram_transfers =
+        result.dram.reads + result.dram.writes;
+    const double uncore_j = model.uncoreStaticW() * seconds +
+        model.uncoreDynamicJ(result.llc.accesses, dram_transfers);
+
+    summary.coreStaticW = static_j / seconds;
+    summary.coreDynamicW = dynamic_j / seconds;
+    summary.uncoreW = uncore_j / seconds;
+    summary.energyJ = static_j + dynamic_j + uncore_j;
+    summary.avgPowerW = summary.energyJ / seconds;
+    return summary;
+}
+
+} // namespace smtflex

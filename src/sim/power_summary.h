@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Post-processing of a SimResult into power/energy numbers using the
+ * PowerModel (Section 7 of the paper).
+ */
+
+#ifndef SMTFLEX_SIM_POWER_SUMMARY_H
+#define SMTFLEX_SIM_POWER_SUMMARY_H
+
+#include "power/power_model.h"
+#include "sim/chip_sim.h"
+
+namespace smtflex {
+
+/** Chip-level power/energy summary of one run. */
+struct PowerSummary
+{
+    double avgPowerW = 0.0;    ///< average total chip power
+    double coreStaticW = 0.0;  ///< time-averaged core static power
+    double coreDynamicW = 0.0; ///< average core dynamic power
+    double uncoreW = 0.0;      ///< uncore static + dynamic
+    double energyJ = 0.0;      ///< total energy over the run
+};
+
+/**
+ * Compute the chip's power summary for @p result.
+ *
+ * @param gate_idle_cores when true, a core consumes no static power during
+ *        cycles in which it has no attached thread (power gating of idle
+ *        cores); when false every core burns static power for the whole
+ *        run (the equal-power-envelope comparisons of Sections 4-6).
+ */
+PowerSummary summarisePower(const SimResult &result, const PowerModel &model,
+                            bool gate_idle_cores);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_SIM_POWER_SUMMARY_H

@@ -1,0 +1,53 @@
+#include "shared_memory.h"
+
+namespace smtflex {
+
+SharedMemory::SharedMemory(const ChipConfig &config)
+    : llcLatency_(config.llcLatency), xbar_(config.xbar),
+      llc_("llc", config.llc), dram_(config.dram)
+{
+    if (config.useMesh)
+        mesh_.emplace(config.mesh, config.numCores());
+}
+
+Cycle
+SharedMemory::traverse(Cycle now, Addr addr, std::uint32_t core_id,
+                       std::uint32_t *response_latency)
+{
+    if (mesh_) {
+        *response_latency = mesh_->responseLatency(addr, core_id);
+        return mesh_->request(now, addr, core_id);
+    }
+    *response_latency = xbar_.responseLatency();
+    return xbar_.request(now, addr);
+}
+
+Cycle
+SharedMemory::fetchLine(Cycle now, Addr addr, std::uint32_t core_id)
+{
+    std::uint32_t response = 0;
+    const Cycle bank_start = traverse(now, addr, core_id, &response);
+    const Cycle lookup_done = bank_start + llcLatency_;
+
+    const auto result = llc_.access(addr, false);
+    if (result.writeback)
+        dram_.write(lookup_done, result.victimAddr);
+
+    if (result.hit)
+        return lookup_done + response;
+
+    const Cycle fill = dram_.read(lookup_done, addr);
+    return fill + response;
+}
+
+void
+SharedMemory::writebackLine(Cycle now, Addr addr, std::uint32_t core_id)
+{
+    std::uint32_t response = 0;
+    const Cycle bank_start = traverse(now, addr, core_id, &response);
+    const auto result = llc_.access(addr, true);
+    if (result.writeback)
+        dram_.write(bank_start + llcLatency_, result.victimAddr);
+}
+
+} // namespace smtflex

@@ -1,0 +1,32 @@
+#include "sim_thread.h"
+
+namespace smtflex {
+
+SimThread::SimThread(const BenchmarkProfile &profile, std::uint64_t seed,
+                     std::uint32_t global_id, InstrCount budget, bool restart,
+                     InstrCount warmup)
+    : gen_(profile, seed, global_id, AddressSpace::forThread(global_id)),
+      budget_(budget), warmup_(warmup), restart_(restart)
+{
+}
+
+void
+SimThread::onRetire(Cycle now)
+{
+    ++totalRetired_;
+    if (totalRetired_ == warmup_) {
+        startCycle_ = now;
+        return;
+    }
+    if (totalRetired_ == warmup_ + budget_) {
+        finishCycle_ = now;
+        // Paper methodology: finished programs restart and keep contending
+        // (the statistical stream simply continues; caches stay warm, as
+        // they would for a real re-execution). Without restart the thread
+        // stops fetching here.
+        if (!restart_)
+            doneForever_ = true;
+    }
+}
+
+} // namespace smtflex

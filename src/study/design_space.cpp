@@ -1,0 +1,87 @@
+#include "design_space.h"
+
+#include "common/log.h"
+
+namespace smtflex {
+
+const std::vector<std::string> &
+paperDesignNames()
+{
+    static const std::vector<std::string> names = {
+        "4B",   "8m",    "20s",  "3B2m", "3B5s",
+        "2B4m", "2B10s", "1B6m", "1B15s",
+    };
+    return names;
+}
+
+ChipConfig
+paperDesign(const std::string &name)
+{
+    const CoreParams big = CoreParams::big();
+    const CoreParams medium = CoreParams::medium();
+    const CoreParams small = CoreParams::small();
+
+    if (name == "4B")
+        return ChipConfig::homogeneous("4B", big, 4);
+    if (name == "8m")
+        return ChipConfig::homogeneous("8m", medium, 8);
+    if (name == "20s")
+        return ChipConfig::homogeneous("20s", small, 20);
+    if (name == "3B2m")
+        return ChipConfig::heterogeneous("3B2m", 3, medium, 2);
+    if (name == "3B5s")
+        return ChipConfig::heterogeneous("3B5s", 3, small, 5);
+    if (name == "2B4m")
+        return ChipConfig::heterogeneous("2B4m", 2, medium, 4);
+    if (name == "2B10s")
+        return ChipConfig::heterogeneous("2B10s", 2, small, 10);
+    if (name == "1B6m")
+        return ChipConfig::heterogeneous("1B6m", 1, medium, 6);
+    if (name == "1B15s")
+        return ChipConfig::heterogeneous("1B15s", 1, small, 15);
+    fatal("paperDesign: unknown design '", name, "'");
+}
+
+std::vector<ChipConfig>
+paperDesigns()
+{
+    std::vector<ChipConfig> designs;
+    for (const auto &name : paperDesignNames())
+        designs.push_back(paperDesign(name));
+    return designs;
+}
+
+const std::vector<std::string> &
+alternativeDesignNames()
+{
+    static const std::vector<std::string> names = {
+        "6m_lc", "16s_lc", "6m_hf", "16s_hf",
+    };
+    return names;
+}
+
+ChipConfig
+alternativeDesign(const std::string &name)
+{
+    // Larger caches / higher frequency change the power equivalence to
+    // 1 big = 1.5 medium = 4 small (Section 8.1), hence the core counts.
+    if (name == "6m_lc") {
+        return ChipConfig::homogeneous(
+            "6m_lc", CoreParams::medium().withBigCaches(), 6);
+    }
+    if (name == "16s_lc") {
+        return ChipConfig::homogeneous(
+            "16s_lc", CoreParams::small().withBigCaches(), 16);
+    }
+    if (name == "6m_hf") {
+        return ChipConfig::homogeneous(
+            "6m_hf", CoreParams::medium().withFrequency(3.33), 6);
+    }
+    if (name == "16s_hf") {
+        return ChipConfig::homogeneous(
+            "16s_hf", CoreParams::small().withFrequency(3.33), 16);
+    }
+    fatal("alternativeDesign: unknown design '", name, "'");
+}
+
+} // namespace smtflex

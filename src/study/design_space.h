@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The paper's multi-core design space: the nine power-equivalent designs of
+ * Figure 2 (power budget = 4 big = 8 medium = 20 small cores plus a shared
+ * 8 MB LLC) and the Section 8.1 alternative designs (larger caches / higher
+ * frequency for medium and small cores).
+ */
+
+#ifndef SMTFLEX_STUDY_DESIGN_SPACE_H
+#define SMTFLEX_STUDY_DESIGN_SPACE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/chip_config.h"
+
+namespace smtflex {
+
+/** Names of the nine designs in paper order:
+ * 4B, 8m, 20s, 3B2m, 3B5s, 2B4m, 2B10s, 1B6m, 1B15s. */
+const std::vector<std::string> &paperDesignNames();
+
+/** Build one of the nine designs by name (SMT enabled by default). */
+ChipConfig paperDesign(const std::string &name);
+
+/** All nine designs. */
+std::vector<ChipConfig> paperDesigns();
+
+/** Names of the Section 8.1 variants: 6m_lc, 16s_lc, 6m_hf, 16s_hf. */
+const std::vector<std::string> &alternativeDesignNames();
+
+/** Build a Section 8.1 variant by name. */
+ChipConfig alternativeDesign(const std::string &name);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_STUDY_DESIGN_SPACE_H

@@ -1,0 +1,64 @@
+#include "result_cache.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path))
+{
+    if (!path_.empty())
+        load();
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // no cache yet
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t sep = line.find('|');
+        if (sep == std::string::npos || sep == 0)
+            continue; // tolerate partial/corrupt lines
+        std::vector<double> values;
+        std::istringstream vs(line.substr(sep + 1));
+        double v;
+        while (vs >> v)
+            values.push_back(v);
+        entries_[line.substr(0, sep)] = std::move(values);
+    }
+}
+
+const std::vector<double> *
+ResultCache::find(const std::string &key) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+ResultCache::store(const std::string &key, const std::vector<double> &values)
+{
+    if (key.empty() || key.find('|') != std::string::npos ||
+        key.find('\n') != std::string::npos)
+        fatal("ResultCache: invalid key '", key, "'");
+    entries_[key] = values;
+    if (path_.empty())
+        return;
+    std::ofstream out(path_, std::ios::app);
+    if (!out) {
+        warn("ResultCache: cannot append to ", path_);
+        return;
+    }
+    out << key << '|';
+    out.precision(17);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out << (i ? " " : "") << values[i];
+    out << '\n';
+}
+
+} // namespace smtflex

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Disk-backed memoisation of simulation results. A full design-space sweep
+ * involves thousands of simulations that several figures share; the cache
+ * lets every bench binary reuse one sweep (the substitute for the paper's
+ * supercomputer simulation campaign; see DESIGN.md).
+ */
+
+#ifndef SMTFLEX_STUDY_RESULT_CACHE_H
+#define SMTFLEX_STUDY_RESULT_CACHE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smtflex {
+
+/**
+ * A persistent map from string keys to vectors of doubles.
+ *
+ * The file format is one record per line: `key|v1 v2 ...`. Keys must not
+ * contain '|' or newlines. Records are appended as they are computed, so an
+ * interrupted sweep resumes where it stopped.
+ */
+class ResultCache
+{
+  public:
+    /** Open (and load) the cache at @p path; empty path = in-memory only. */
+    explicit ResultCache(std::string path);
+
+    /** Look up a record; nullptr when absent. */
+    const std::vector<double> *find(const std::string &key) const;
+
+    /** Insert a record and append it to the backing file. */
+    void store(const std::string &key, const std::vector<double> &values);
+
+    std::size_t size() const { return entries_.size(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    void load();
+
+    std::string path_;
+    std::map<std::string, std::vector<double>> entries_;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_STUDY_RESULT_CACHE_H

@@ -1,0 +1,58 @@
+#include "selection.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+std::vector<BenchmarkCharacterisation>
+characteriseBenchmarks(StudyEngine &engine,
+                       const std::vector<std::string> &benchmarks)
+{
+    std::vector<BenchmarkCharacterisation> table;
+    table.reserve(benchmarks.size());
+    for (const auto &name : benchmarks) {
+        BenchmarkCharacterisation row;
+        row.name = name;
+        row.ipcBig = engine.isolatedIpc(name, CoreType::kBig);
+        row.ipcMedium = engine.isolatedIpc(name, CoreType::kMedium);
+        row.ipcSmall = engine.isolatedIpc(name, CoreType::kSmall);
+        table.push_back(std::move(row));
+    }
+    return table;
+}
+
+std::vector<std::string>
+selectRepresentativeBenchmarks(StudyEngine &engine,
+                               const std::vector<std::string> &candidates,
+                               std::size_t count)
+{
+    if (count == 0 || candidates.size() < count)
+        fatal("selectRepresentativeBenchmarks: need at least ", count,
+              " candidates, got ", candidates.size());
+
+    auto table = characteriseBenchmarks(engine, candidates);
+    std::sort(table.begin(), table.end(),
+              [](const BenchmarkCharacterisation &a,
+                 const BenchmarkCharacterisation &b) {
+                  return a.smallOverBig() < b.smallOverBig();
+              });
+
+    // Evenly spaced picks over the sorted ranking keep both extremes and
+    // provide uniform coverage of the range (the paper's criterion).
+    std::vector<std::string> selected;
+    selected.reserve(count);
+    const std::size_t n = table.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t idx = count == 1
+            ? 0
+            : (i * (n - 1) + (count - 1) / 2) / (count - 1);
+        selected.push_back(table[idx].name);
+    }
+    // Evenly spaced indices over a sorted ranking are strictly increasing
+    // whenever count <= n, so no deduplication is needed.
+    return selected;
+}
+
+} // namespace smtflex

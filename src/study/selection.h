@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The paper's benchmark-selection methodology (Section 3.2): characterise
+ * every benchmark on the three core types in isolation, rank by relative
+ * performance, and pick a subset covering the full range — the extremes
+ * plus evenly spaced in-betweens.
+ */
+
+#ifndef SMTFLEX_STUDY_SELECTION_H
+#define SMTFLEX_STUDY_SELECTION_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "study/study_engine.h"
+
+namespace smtflex {
+
+/** One benchmark's isolated characterisation. */
+struct BenchmarkCharacterisation
+{
+    std::string name;
+    double ipcBig = 0.0;
+    double ipcMedium = 0.0;
+    double ipcSmall = 0.0;
+
+    /** Relative performance of the small core vs the big one — the axis
+     * the selection covers. */
+    double smallOverBig() const { return ipcSmall / ipcBig; }
+    double mediumOverBig() const { return ipcMedium / ipcBig; }
+};
+
+/** Characterise @p benchmarks on the three core types (cached isolated
+ * runs through the engine). */
+std::vector<BenchmarkCharacterisation>
+characteriseBenchmarks(StudyEngine &engine,
+                       const std::vector<std::string> &benchmarks);
+
+/**
+ * Select @p count benchmarks covering the relative-performance range:
+ * sort by small/big IPC ratio, keep the extremes, and fill with evenly
+ * spaced picks (the paper's coverage criterion).
+ */
+std::vector<std::string>
+selectRepresentativeBenchmarks(StudyEngine &engine,
+                               const std::vector<std::string> &candidates,
+                               std::size_t count);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_STUDY_SELECTION_H

@@ -1,0 +1,363 @@
+#include "study_engine.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
+#include "metrics/metrics.h"
+#include "sim/power_summary.h"
+#include "trace/spec_profiles.h"
+#include "workload/parsec_runner.h"
+
+namespace smtflex {
+
+StudyOptions
+StudyOptions::fromEnv()
+{
+    StudyOptions opts;
+    if (const char *env = std::getenv("SMTFLEX_BUDGET"))
+        opts.budget = static_cast<InstrCount>(std::strtoull(env, nullptr, 10));
+    if (const char *env = std::getenv("SMTFLEX_WARMUP"))
+        opts.warmup = static_cast<InstrCount>(std::strtoull(env, nullptr, 10));
+    if (const char *env = std::getenv("SMTFLEX_MIXES"))
+        opts.hetMixes =
+            static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    if (const char *env = std::getenv("SMTFLEX_SEED"))
+        opts.seed = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("SMTFLEX_CACHE"))
+        opts.cachePath = env;
+    if (const char *env = std::getenv("SMTFLEX_FULLSWEEP"))
+        opts.fullSweep = env[0] == '1';
+    if (opts.budget == 0 || opts.hetMixes == 0)
+        fatal("StudyOptions: budget and mixes must be positive");
+    return opts;
+}
+
+StudyEngine::StudyEngine(StudyOptions options)
+    : options_(std::move(options)), cache_(options_.cachePath)
+{
+}
+
+ChipConfig
+StudyEngine::configured(const ChipConfig &config) const
+{
+    return config.withBandwidth(options_.bandwidthGBps);
+}
+
+std::vector<std::uint32_t>
+StudyEngine::sweepThreadCounts() const
+{
+    std::vector<std::uint32_t> counts;
+    for (std::uint32_t n = 1; n <= options_.maxThreads; ++n) {
+        if (options_.fullSweep || n <= 8 || n % 2 == 0)
+            counts.push_back(n);
+    }
+    return counts;
+}
+
+std::uint32_t
+StudyEngine::nearestSweepCount(std::uint32_t n) const
+{
+    if (options_.fullSweep || n <= 8 || n % 2 == 0)
+        return n;
+    // Odd counts above 8 round up to the next simulated even count.
+    return std::min<std::uint32_t>(n + 1, options_.maxThreads);
+}
+
+std::string
+StudyEngine::keyPrefix(const ChipConfig &config) const
+{
+    std::ostringstream os;
+    os << config.name << ";smt" << (config.smtEnabled ? 1 : 0) << ";bw"
+       << options_.bandwidthGBps << ";b" << options_.budget << ";w"
+       << options_.warmup << ";s" << options_.seed;
+    return os.str();
+}
+
+double
+StudyEngine::isolatedIpc(const std::string &bench, CoreType type)
+{
+    std::ostringstream key;
+    key << "iso;" << bench << ";" << coreTypeTag(type) << ";b"
+        << options_.budget << ";w" << options_.warmup << ";s"
+        << options_.seed << ";bw" << options_.bandwidthGBps;
+    if (const auto *hit = cache_.find(key.str()))
+        return hit->at(0);
+
+    CoreParams core;
+    switch (type) {
+      case CoreType::kBig:
+        core = CoreParams::big();
+        break;
+      case CoreType::kMedium:
+        core = CoreParams::medium();
+        break;
+      case CoreType::kSmall:
+        core = CoreParams::small();
+        break;
+    }
+    ChipConfig solo = ChipConfig::homogeneous(
+        std::string("iso_") + coreTypeTag(type), core, 1);
+    solo = configured(solo);
+
+    ChipSim chip(solo);
+    const std::vector<ThreadSpec> specs = {
+        {&specProfile(bench), options_.budget, options_.warmup}};
+    Placement placement;
+    placement.entries = {{0, 0}};
+    const SimResult result =
+        chip.runMultiProgram(specs, placement, options_.seed);
+    if (!result.threads[0].finished)
+        fatal("isolatedIpc: ", bench, " never finished on ",
+              coreTypeTag(type));
+    const double ipc = result.threads[0].ipc();
+    cache_.store(key.str(), {ipc});
+    return ipc;
+}
+
+const OfflineProfile &
+StudyEngine::offline()
+{
+    if (!offlineBuilt_) {
+        for (const auto &bench : specBenchmarkNames()) {
+            offline_.set(bench, CoreType::kBig,
+                         isolatedIpc(bench, CoreType::kBig));
+            offline_.set(bench, CoreType::kMedium,
+                         isolatedIpc(bench, CoreType::kMedium));
+            offline_.set(bench, CoreType::kSmall,
+                         isolatedIpc(bench, CoreType::kSmall));
+        }
+        offlineBuilt_ = true;
+    }
+    return offline_;
+}
+
+RunMetrics
+StudyEngine::runMultiprogramUncached(const ChipConfig &config,
+                                     const MultiProgramWorkload &workload)
+{
+    const ChipConfig chip_config = configured(config);
+    const std::vector<ThreadSpec> specs =
+        workload.specs(options_.budget, options_.warmup);
+    const Placement placement =
+        scheduleOffline(chip_config, specs, offline());
+
+    ChipSim chip(chip_config);
+    const SimResult result =
+        chip.runMultiProgram(specs, placement, options_.seed);
+
+    std::vector<double> isolated;
+    isolated.reserve(specs.size());
+    for (const auto &spec : specs)
+        isolated.push_back(isolatedIpc(spec.profile->name, CoreType::kBig));
+
+    RunMetrics metrics;
+    metrics.stp = systemThroughput(result, isolated);
+    metrics.antt = avgNormalisedTurnaround(result, isolated);
+    metrics.powerGatedW = summarisePower(result, power_, true).avgPowerW;
+    metrics.powerUngatedW = summarisePower(result, power_, false).avgPowerW;
+    metrics.cycles = static_cast<double>(result.cycles);
+    metrics.hitLimit = result.hitCycleLimit;
+    return metrics;
+}
+
+RunMetrics
+StudyEngine::multiprogram(const ChipConfig &config,
+                          const MultiProgramWorkload &workload)
+{
+    const std::string key = "mp;" + keyPrefix(config) + ";" + workload.name;
+    if (const auto *hit = cache_.find(key)) {
+        RunMetrics m;
+        m.stp = hit->at(0);
+        m.antt = hit->at(1);
+        m.powerGatedW = hit->at(2);
+        m.powerUngatedW = hit->at(3);
+        m.cycles = hit->at(4);
+        m.hitLimit = hit->at(5) != 0.0;
+        return m;
+    }
+    const RunMetrics m = runMultiprogramUncached(config, workload);
+    cache_.store(key, {m.stp, m.antt, m.powerGatedW, m.powerUngatedW,
+                       m.cycles, m.hitLimit ? 1.0 : 0.0});
+    return m;
+}
+
+namespace {
+
+/** Aggregate per-workload metrics: harmonic mean for STP (a rate metric),
+ * arithmetic means for the rest. */
+RunMetrics
+aggregate(const std::vector<RunMetrics> &runs)
+{
+    std::vector<double> stp, antt, pg, pu, cycles;
+    for (const auto &run : runs) {
+        stp.push_back(run.stp);
+        antt.push_back(run.antt);
+        pg.push_back(run.powerGatedW);
+        pu.push_back(run.powerUngatedW);
+        cycles.push_back(run.cycles);
+    }
+    RunMetrics agg;
+    agg.stp = harmonicMean(stp);
+    agg.antt = arithmeticMean(antt);
+    agg.powerGatedW = arithmeticMean(pg);
+    agg.powerUngatedW = arithmeticMean(pu);
+    agg.cycles = arithmeticMean(cycles);
+    return agg;
+}
+
+} // namespace
+
+RunMetrics
+StudyEngine::homogeneousBenchmarkAt(const ChipConfig &config,
+                                    const std::string &bench,
+                                    std::uint32_t n)
+{
+    return multiprogram(config, homogeneousWorkload(bench, n));
+}
+
+RunMetrics
+StudyEngine::homogeneousAt(const ChipConfig &config, std::uint32_t n)
+{
+    std::vector<RunMetrics> runs;
+    for (const auto &bench : specBenchmarkNames())
+        runs.push_back(homogeneousBenchmarkAt(config, bench, n));
+    return aggregate(runs);
+}
+
+RunMetrics
+StudyEngine::heterogeneousAt(const ChipConfig &config, std::uint32_t n)
+{
+    if (n == 1) {
+        // A 1-thread "mix" is a single program; balanced sampling over the
+        // 12 benchmarks is exactly one run of each.
+        return homogeneousAt(config, 1);
+    }
+    std::vector<RunMetrics> runs;
+    for (const auto &mix :
+         heterogeneousWorkloads(n, options_.hetMixes, options_.seed))
+        runs.push_back(multiprogram(config, mix));
+    return aggregate(runs);
+}
+
+double
+StudyEngine::distributionStp(const ChipConfig &config,
+                             const DiscreteDistribution &dist,
+                             bool heterogeneous_workloads)
+{
+    std::vector<double> stp, weights;
+    for (std::size_t n = 1; n <= dist.size(); ++n) {
+        const std::uint32_t sim_n =
+            nearestSweepCount(static_cast<std::uint32_t>(n));
+        const auto metrics = heterogeneous_workloads
+            ? heterogeneousAt(config, sim_n)
+            : homogeneousAt(config, sim_n);
+        stp.push_back(metrics.stp);
+        weights.push_back(dist.probability(n));
+    }
+    // STP is a rate: average with the weighted harmonic mean.
+    return weightedHarmonicMean(stp, weights);
+}
+
+double
+StudyEngine::distributionPower(const ChipConfig &config,
+                               const DiscreteDistribution &dist,
+                               bool heterogeneous_workloads)
+{
+    std::vector<double> power, weights;
+    for (std::size_t n = 1; n <= dist.size(); ++n) {
+        const std::uint32_t sim_n =
+            nearestSweepCount(static_cast<std::uint32_t>(n));
+        const auto metrics = heterogeneous_workloads
+            ? heterogeneousAt(config, sim_n)
+            : homogeneousAt(config, sim_n);
+        power.push_back(metrics.powerGatedW);
+        weights.push_back(dist.probability(n));
+    }
+    return weightedArithmeticMean(power, weights);
+}
+
+ParsecMetrics
+StudyEngine::runParsecUncached(const ChipConfig &config,
+                               const std::string &bench,
+                               std::uint32_t threads)
+{
+    const ChipConfig chip_config = configured(config);
+    ParsecRunner runner(chip_config, parsecProfile(bench), threads,
+                        options_.seed);
+    const ParsecRunResult run = runner.run();
+
+    ParsecMetrics metrics;
+    metrics.roiCycles = static_cast<double>(run.roiCycles());
+    metrics.totalCycles = static_cast<double>(run.totalCycles);
+    metrics.powerGatedW = summarisePower(run.sim, power_, true).avgPowerW;
+    metrics.completed = run.completed;
+    metrics.roiActiveThreadFractions = run.roiActiveThreadFractions;
+    return metrics;
+}
+
+ParsecMetrics
+StudyEngine::parsec(const ChipConfig &config, const std::string &bench,
+                    std::uint32_t threads)
+{
+    std::ostringstream key;
+    key << "ps;" << keyPrefix(config) << ";" << bench << ";t" << threads;
+    if (const auto *hit = cache_.find(key.str())) {
+        ParsecMetrics m;
+        m.roiCycles = hit->at(0);
+        m.totalCycles = hit->at(1);
+        m.powerGatedW = hit->at(2);
+        m.completed = hit->at(3) != 0.0;
+        m.roiActiveThreadFractions.assign(hit->begin() + 4, hit->end());
+        return m;
+    }
+    const ParsecMetrics m = runParsecUncached(config, bench, threads);
+    std::vector<double> record = {m.roiCycles, m.totalCycles, m.powerGatedW,
+                                  m.completed ? 1.0 : 0.0};
+    record.insert(record.end(), m.roiActiveThreadFractions.begin(),
+                  m.roiActiveThreadFractions.end());
+    cache_.store(key.str(), record);
+    return m;
+}
+
+std::vector<std::uint32_t>
+StudyEngine::parsecThreadCandidates(const ChipConfig &config) const
+{
+    std::vector<std::uint32_t> candidates;
+    if (!config.smtEnabled) {
+        // Without SMT: one thread per core (paper Section 5).
+        candidates.push_back(config.numCores());
+        return candidates;
+    }
+    const std::uint32_t contexts = config.totalContexts();
+    for (std::uint32_t t = 4; t <= options_.maxThreads; t += 4) {
+        if (t <= contexts)
+            candidates.push_back(t);
+    }
+    // Also consider exactly one thread per core (the no-SMT sweet spot
+    // remains available to an SMT chip).
+    if (config.numCores() <= options_.maxThreads)
+        candidates.push_back(config.numCores());
+    return candidates;
+}
+
+double
+StudyEngine::bestParsecCycles(const ChipConfig &config,
+                              const std::string &bench, bool roi_only)
+{
+    double best = 0.0;
+    for (const std::uint32_t t : parsecThreadCandidates(config)) {
+        const ParsecMetrics m = parsec(config, bench, t);
+        const double cycles = roi_only ? m.roiCycles : m.totalCycles;
+        if (cycles <= 0.0)
+            continue;
+        if (best == 0.0 || cycles < best)
+            best = cycles;
+    }
+    if (best == 0.0)
+        fatal("bestParsecCycles: no valid run for ", bench, " on ",
+              config.name);
+    return best;
+}
+
+} // namespace smtflex

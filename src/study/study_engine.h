@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The experiment driver that regenerates the paper's evaluation: it runs
+ * (and memoises) isolated characterisation runs, multi-program workloads
+ * with the offline scheduling methodology, PARSEC application runs, and the
+ * aggregations over thread-count distributions.
+ */
+
+#ifndef SMTFLEX_STUDY_STUDY_ENGINE_H
+#define SMTFLEX_STUDY_STUDY_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "power/power_model.h"
+#include "sched/scheduler.h"
+#include "sim/chip_config.h"
+#include "study/result_cache.h"
+#include "workload/multiprogram.h"
+#include "workload/parsec.h"
+
+namespace smtflex {
+
+/** Global knobs of a study. */
+struct StudyOptions
+{
+    /** Per-program instruction budget (the SimPoint substitute). */
+    InstrCount budget = 12'000;
+    /** Unmeasured warmup instructions per program (cold-start exclusion;
+     * functional cache warmup handles the caches, this covers pipeline and
+     * queue state). */
+    InstrCount warmup = 3'000;
+    /** Simulation seed. */
+    std::uint64_t seed = 12'345;
+    /** Cache file path; empty = no persistence. */
+    std::string cachePath = "smtflex_cache.txt";
+    /** Heterogeneous mixes per thread count (paper: 12). */
+    std::uint32_t hetMixes = 12;
+    /** Maximum thread count of the study (paper: 24). */
+    std::uint32_t maxThreads = 24;
+    /** Off-chip bandwidth in GB/s (8 default, 16 in Section 8.2). */
+    double bandwidthGBps = 8.0;
+
+    /**
+     * Sweep resolution: thread counts actually simulated. When false
+     * (default), counts above 8 are sampled every other value (9 is
+     * represented by 10, etc.) — the curves are smooth there and the
+     * saved simulations halve the campaign cost. SMTFLEX_FULLSWEEP=1
+     * restores the paper's full 1..24 resolution.
+     */
+    bool fullSweep = false;
+
+    /** Apply SMTFLEX_BUDGET / SMTFLEX_WARMUP / SMTFLEX_MIXES /
+     * SMTFLEX_CACHE / SMTFLEX_SEED / SMTFLEX_FULLSWEEP overrides. */
+    static StudyOptions fromEnv();
+};
+
+/** Metrics of one multi-program run. */
+struct RunMetrics
+{
+    double stp = 0.0;  ///< system throughput (weighted speedup)
+    double antt = 0.0; ///< average normalised turnaround time
+    double powerGatedW = 0.0;   ///< avg chip power with idle cores gated
+    double powerUngatedW = 0.0; ///< avg chip power without gating
+    double cycles = 0.0;
+    bool hitLimit = false;
+};
+
+/** Metrics of one multi-threaded (PARSEC) run. */
+struct ParsecMetrics
+{
+    double roiCycles = 0.0;
+    double totalCycles = 0.0;
+    double powerGatedW = 0.0;
+    bool completed = false;
+    std::vector<double> roiActiveThreadFractions;
+};
+
+/**
+ * Memoised experiment driver. All results are deterministic functions of
+ * (StudyOptions, config, workload); repeated calls — across bench binaries,
+ * via the disk cache — are free.
+ */
+class StudyEngine
+{
+  public:
+    explicit StudyEngine(StudyOptions options = StudyOptions::fromEnv());
+
+    const StudyOptions &options() const { return options_; }
+    const PowerModel &powerModel() const { return power_; }
+
+    /** Apply the study's bandwidth option to @p config. */
+    ChipConfig configured(const ChipConfig &config) const;
+
+    /** Thread counts simulated by the sweeps (see StudyOptions::fullSweep). */
+    std::vector<std::uint32_t> sweepThreadCounts() const;
+
+    /** The simulated count representing thread count @p n. */
+    std::uint32_t nearestSweepCount(std::uint32_t n) const;
+
+    // ---- offline analysis (isolated characterisation runs) ----
+
+    /** Isolated IPC of @p bench on a solo core of @p type (cached). */
+    double isolatedIpc(const std::string &bench, CoreType type);
+
+    /** Offline table over all SPEC benchmarks and core types. */
+    const OfflineProfile &offline();
+
+    // ---- multi-program experiments ----
+
+    /** Run one workload on @p config (offline-scheduled, cached). */
+    RunMetrics multiprogram(const ChipConfig &config,
+                            const MultiProgramWorkload &workload);
+
+    /** Harmonic-mean STP over the 12 homogeneous workloads at @p n. */
+    RunMetrics homogeneousAt(const ChipConfig &config, std::uint32_t n);
+
+    /** Harmonic-mean STP over the heterogeneous mixes at @p n. */
+    RunMetrics heterogeneousAt(const ChipConfig &config, std::uint32_t n);
+
+    /** STP for n copies of one benchmark (Fig. 4 per-benchmark curves). */
+    RunMetrics homogeneousBenchmarkAt(const ChipConfig &config,
+                                      const std::string &bench,
+                                      std::uint32_t n);
+
+    /**
+     * Distribution-weighted STP: weighted harmonic mean of the per-thread-
+     * count STP under @p dist (Figs. 6-10).
+     */
+    double distributionStp(const ChipConfig &config,
+                           const DiscreteDistribution &dist,
+                           bool heterogeneous_workloads);
+
+    /** Distribution-weighted average chip power (gated). */
+    double distributionPower(const ChipConfig &config,
+                             const DiscreteDistribution &dist,
+                             bool heterogeneous_workloads);
+
+    // ---- multi-threaded experiments ----
+
+    /** One PARSEC run (cached). */
+    ParsecMetrics parsec(const ChipConfig &config, const std::string &bench,
+                         std::uint32_t threads);
+
+    /**
+     * Fastest run over the candidate thread counts (the paper reports the
+     * maximum speedup across all possible thread counts). Without SMT the
+     * only candidate is the core count.
+     * @return best cycles (ROI or whole program).
+     */
+    double bestParsecCycles(const ChipConfig &config,
+                            const std::string &bench, bool roi_only);
+
+    /** Candidate thread counts for @p config under its SMT setting. */
+    std::vector<std::uint32_t>
+    parsecThreadCandidates(const ChipConfig &config) const;
+
+  private:
+    std::string keyPrefix(const ChipConfig &config) const;
+    RunMetrics runMultiprogramUncached(const ChipConfig &config,
+                                       const MultiProgramWorkload &workload);
+    ParsecMetrics runParsecUncached(const ChipConfig &config,
+                                    const std::string &bench,
+                                    std::uint32_t threads);
+
+    StudyOptions options_;
+    ResultCache cache_;
+    PowerModel power_;
+    OfflineProfile offline_;
+    bool offlineBuilt_ = false;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_STUDY_STUDY_ENGINE_H

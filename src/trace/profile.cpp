@@ -1,0 +1,49 @@
+#include "profile.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+double
+BenchmarkProfile::memFootprintBeyond(std::uint64_t capacity_bytes) const
+{
+    double frac = 0.0;
+    for (const auto &region : regions) {
+        if (region.bytes > capacity_bytes)
+            frac += region.probability;
+    }
+    return frac;
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    if (name.empty())
+        fatal("BenchmarkProfile: empty name");
+    if (std::abs(mix.sum() - 1.0) > 1e-6)
+        fatal("BenchmarkProfile ", name, ": instruction mix sums to ",
+              mix.sum(), ", expected 1.0");
+    if (meanDepDist < 1.0)
+        fatal("BenchmarkProfile ", name, ": meanDepDist must be >= 1");
+    if (depNoneProb < 0.0 || depNoneProb > 1.0)
+        fatal("BenchmarkProfile ", name, ": depNoneProb out of range");
+    if (branchMispredictRate < 0.0 || branchMispredictRate > 1.0)
+        fatal("BenchmarkProfile ", name, ": mispredict rate out of range");
+    if (regions.empty() && mix.load + mix.store > 0.0)
+        fatal("BenchmarkProfile ", name, ": memory ops but no regions");
+    double region_prob = 0.0;
+    for (const auto &region : regions) {
+        if (region.bytes < kLineSize)
+            fatal("BenchmarkProfile ", name, ": region smaller than a line");
+        region_prob += region.probability;
+    }
+    if (!regions.empty() && std::abs(region_prob - 1.0) > 1e-6)
+        fatal("BenchmarkProfile ", name, ": region probabilities sum to ",
+              region_prob, ", expected 1.0");
+    if (accessSkew < 1 || accessSkew > 6)
+        fatal("BenchmarkProfile ", name, ": accessSkew out of range");
+}
+
+} // namespace smtflex

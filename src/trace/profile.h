@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Statistical benchmark profiles: the workload-side substitute for SPEC
+ * CPU2006 binaries (see DESIGN.md, substitution table).
+ *
+ * A profile captures the axes that determine relative performance across the
+ * paper's three core types: instruction mix, instruction-level parallelism
+ * (dependency distances), branch behaviour, code footprint, and a multi-region
+ * data working-set model that yields realistic, cache-size-dependent miss
+ * rates and memory bandwidth demand.
+ */
+
+#ifndef SMTFLEX_TRACE_PROFILE_H
+#define SMTFLEX_TRACE_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace smtflex {
+
+/** Dynamic instruction mix; fractions must sum to 1. */
+struct InstrMix
+{
+    double load = 0.0;
+    double store = 0.0;
+    double intAlu = 0.0;
+    double intMul = 0.0;
+    double fp = 0.0;
+    double branch = 0.0;
+
+    double sum() const
+    {
+        return load + store + intAlu + intMul + fp + branch;
+    }
+};
+
+/**
+ * One region of the data working set.
+ *
+ * Random regions model reuse-heavy structures (hit if the region fits in a
+ * cache level); streaming regions model sequential sweeps much larger than
+ * any cache (every line is touched once, generating bandwidth demand).
+ */
+struct MemRegion
+{
+    /** Region size in bytes. */
+    std::uint64_t bytes = 0;
+    /** Fraction of data accesses that target this region. */
+    double probability = 0.0;
+    /** Sequential walk (true) vs. skewed random reuse (false). */
+    bool streaming = false;
+};
+
+/**
+ * A complete statistical benchmark profile.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    InstrMix mix;
+
+    /** Mean dependency distance in dynamic ops (>= 1); larger = more ILP. */
+    double meanDepDist = 3.0;
+    /** Fraction of ops with no register dependency at all. */
+    double depNoneProb = 0.25;
+
+    /** Branch misprediction rate (fraction of branches). */
+    double branchMispredictRate = 0.01;
+    /** Probability a branch is taken (redirects the fetch stream). */
+    double branchTakenProb = 0.6;
+
+    /** Instruction-side working set in bytes. */
+    std::uint64_t codeFootprint = 16 * 1024;
+    /** Fraction of taken jumps that stay inside the hot code region (the
+     * rest target the full footprint) — real control flow is heavily
+     * clustered, so large-code benchmarks miss the L1I on a minority of
+     * jumps, not on nearly all of them. */
+    double jumpLocality = 0.9;
+    /** Hot code region size in bytes (clamped to codeFootprint). */
+    std::uint64_t hotCodeBytes = 16 * 1024;
+
+    /** Data working-set regions; probabilities must sum to 1. */
+    std::vector<MemRegion> regions;
+
+    /**
+     * Intra-region access concentration for non-streaming regions: line
+     * indices are drawn as floor(u^skew * lines), u ~ U[0,1). skew = 1 is
+     * uniform; the default 3 reproduces the convex miss-rate curves of
+     * real programs — a cache holding fraction f of a region hits about
+     * f^(1/3) of its accesses, so small caches retain a useful hot subset
+     * instead of missing almost always.
+     */
+    std::uint32_t accessSkew = 3;
+
+    /**
+     * Fraction of data accesses whose target region does not fit in
+     * @p capacity_bytes, a cheap proxy for memory intensity used by
+     * scheduling heuristics and tests.
+     */
+    double memFootprintBeyond(std::uint64_t capacity_bytes) const;
+
+    /** Validate invariants; calls fatal() on malformed profiles. */
+    void validate() const;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_TRACE_PROFILE_H

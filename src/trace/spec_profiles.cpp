@@ -1,0 +1,324 @@
+#include "spec_profiles.h"
+
+#include <map>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+BenchmarkProfile
+makeProfile(const std::string &name, InstrMix mix, double dep_dist,
+            double dep_none, double mispredict, std::uint64_t code_bytes,
+            std::vector<MemRegion> regions)
+{
+    BenchmarkProfile profile;
+    profile.name = name;
+    profile.mix = mix;
+    profile.meanDepDist = dep_dist;
+    profile.depNoneProb = dep_none;
+    profile.branchMispredictRate = mispredict;
+    profile.codeFootprint = code_bytes;
+    profile.regions = std::move(regions);
+    profile.validate();
+    return profile;
+}
+
+std::map<std::string, BenchmarkProfile>
+buildRegistry()
+{
+    std::map<std::string, BenchmarkProfile> reg;
+
+    // Bandwidth-bound: small hot set plus a huge streaming sweep. High ILP
+    // (vectorisable loops), nearly perfect branches. Memory bus saturates at
+    // high thread counts, flattening all configurations (paper Fig. 4b).
+    reg["libquantum"] = makeProfile(
+        "libquantum",
+        {.load = 0.24, .store = 0.08, .intAlu = 0.47, .intMul = 0.01,
+         .fp = 0.05, .branch = 0.15},
+        6.0, 0.45, 0.002, 8 * kKiB,
+        {{4 * kKiB, 0.40, false}, {64 * kMiB, 0.60, true}});
+
+    // DRAM-latency-bound pointer chasing: large random region, low ILP.
+    reg["mcf"] = makeProfile(
+        "mcf",
+        {.load = 0.32, .store = 0.09, .intAlu = 0.39, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.19},
+        2.2, 0.15, 0.012, 16 * kKiB,
+        {{16 * kKiB, 0.86, false}, {2 * kMiB, 0.04, false},
+         {256 * kMiB, 0.10, false}});
+
+    // FP streaming with moderate reuse.
+    reg["milc"] = makeProfile(
+        "milc",
+        {.load = 0.29, .store = 0.12, .intAlu = 0.15, .intMul = 0.00,
+         .fp = 0.36, .branch = 0.08},
+        5.0, 0.40, 0.003, 12 * kKiB,
+        {{32 * kKiB, 0.55, false}, {48 * kMiB, 0.45, true}});
+
+    // Heavily streaming FP stencil, very high ILP.
+    reg["lbm"] = makeProfile(
+        "lbm",
+        {.load = 0.26, .store = 0.16, .intAlu = 0.12, .intMul = 0.00,
+         .fp = 0.40, .branch = 0.06},
+        7.0, 0.50, 0.001, 6 * kKiB,
+        {{8 * kKiB, 0.40, false}, {128 * kMiB, 0.60, true}});
+
+    // Compute-bound FP with a cache-resident working set (paper Fig. 4a
+    // behaviour: gains a lot from aggregate execution resources).
+    reg["tonto"] = makeProfile(
+        "tonto",
+        {.load = 0.22, .store = 0.10, .intAlu = 0.17, .intMul = 0.02,
+         .fp = 0.42, .branch = 0.07},
+        3.2, 0.25, 0.004, 48 * kKiB,
+        {{24 * kKiB, 0.91, false}, {96 * kKiB, 0.085, false},
+         {1 * kMiB, 0.004, false}, {16 * kMiB, 0.001, false}});
+
+    // ILP-rich FP solver, cache friendly: the wide core shines.
+    reg["calculix"] = makeProfile(
+        "calculix",
+        {.load = 0.25, .store = 0.08, .intAlu = 0.20, .intMul = 0.01,
+         .fp = 0.38, .branch = 0.08},
+        4.5, 0.35, 0.004, 32 * kKiB,
+        {{16 * kKiB, 0.90, false}, {96 * kKiB, 0.096, false},
+         {2 * kMiB, 0.003, false}, {8 * kMiB, 0.001, false}});
+
+    // Cache-friendly FP chemistry code.
+    reg["gamess"] = makeProfile(
+        "gamess",
+        {.load = 0.26, .store = 0.09, .intAlu = 0.21, .intMul = 0.01,
+         .fp = 0.35, .branch = 0.08},
+        3.0, 0.22, 0.006, 64 * kKiB,
+        {{32 * kKiB, 0.945, false}, {96 * kKiB, 0.05, false},
+         {1 * kMiB, 0.005, false}});
+
+    // Integer video encoder: medium working set, some multiplies,
+    // moderately cache-capacity sensitive.
+    reg["h264ref"] = makeProfile(
+        "h264ref",
+        {.load = 0.28, .store = 0.12, .intAlu = 0.42, .intMul = 0.04,
+         .fp = 0.02, .branch = 0.12},
+        3.5, 0.28, 0.008, 96 * kKiB,
+        {{48 * kKiB, 0.82, false}, {128 * kKiB, 0.165, false},
+         {512 * kKiB, 0.012, false}, {4 * kMiB, 0.003, false}});
+
+    // Very cache friendly, ILP-rich integer scoring loops.
+    reg["hmmer"] = makeProfile(
+        "hmmer",
+        {.load = 0.30, .store = 0.15, .intAlu = 0.43, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.11},
+        5.0, 0.40, 0.003, 16 * kKiB,
+        {{24 * kKiB, 0.97, false}, {96 * kKiB, 0.03, false}});
+
+    // Branchy game-tree search: low ILP, large code footprint, mispredicts.
+    // The in-order small core is relatively competitive here.
+    reg["gobmk"] = makeProfile(
+        "gobmk",
+        {.load = 0.27, .store = 0.12, .intAlu = 0.40, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.20},
+        2.5, 0.18, 0.025, 256 * kKiB,
+        {{32 * kKiB, 0.93, false}, {128 * kKiB, 0.06, false},
+         {512 * kKiB, 0.008, false}, {8 * kMiB, 0.002, false}});
+
+    // Branchy chess search, slightly better behaved than gobmk.
+    reg["sjeng"] = makeProfile(
+        "sjeng",
+        {.load = 0.24, .store = 0.09, .intAlu = 0.48, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.18},
+        2.8, 0.20, 0.030, 128 * kKiB,
+        {{48 * kKiB, 0.94, false}, {128 * kKiB, 0.047, false},
+         {512 * kKiB, 0.011, false}, {8 * kMiB, 0.002, false}});
+
+    // Cache-capacity-sensitive LP solver: a mid-size working set that fits
+    // in a big core's private hierarchy + LLC share but thrashes small
+    // private caches. Distinguishes 4B (large private caches, smart SMT
+    // co-scheduling) from 20s.
+    reg["soplex"] = makeProfile(
+        "soplex",
+        {.load = 0.30, .store = 0.08, .intAlu = 0.22, .intMul = 0.01,
+         .fp = 0.25, .branch = 0.14},
+        3.5, 0.28, 0.009, 64 * kKiB,
+        {{64 * kKiB, 0.90, false}, {512 * kKiB, 0.085, false},
+         {16 * kMiB, 0.015, false}});
+
+    // ---- The extended suite (not part of the 12-benchmark selection; the
+    // paper characterises the full SPEC CPU2006 suite before selecting).
+
+    // Perl interpreter: branchy, large code, cache-resident data.
+    reg["perlbench"] = makeProfile(
+        "perlbench",
+        {.load = 0.27, .store = 0.13, .intAlu = 0.42, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.17},
+        2.6, 0.20, 0.015, 512 * kKiB,
+        {{48 * kKiB, 0.92, false}, {256 * kKiB, 0.06, false},
+         {2 * kMiB, 0.02, false}});
+
+    // Block compressor: mid-size working window.
+    reg["bzip2"] = makeProfile(
+        "bzip2",
+        {.load = 0.26, .store = 0.11, .intAlu = 0.49, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.13},
+        3.2, 0.25, 0.012, 64 * kKiB,
+        {{64 * kKiB, 0.70, false}, {1 * kMiB, 0.28, false},
+         {8 * kMiB, 0.02, false}});
+
+    // Compiler: huge code footprint, L2-hungry data structures.
+    reg["gcc"] = makeProfile(
+        "gcc",
+        {.load = 0.26, .store = 0.14, .intAlu = 0.40, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.19},
+        2.5, 0.20, 0.014, 512 * kKiB,
+        {{64 * kKiB, 0.80, false}, {2 * kMiB, 0.17, false},
+         {16 * kMiB, 0.03, false}});
+
+    // FP streaming solvers of varying intensity.
+    reg["bwaves"] = makeProfile(
+        "bwaves",
+        {.load = 0.28, .store = 0.09, .intAlu = 0.12, .intMul = 0.00,
+         .fp = 0.44, .branch = 0.07},
+        6.0, 0.45, 0.002, 8 * kKiB,
+        {{16 * kKiB, 0.45, false}, {96 * kMiB, 0.55, true}});
+    reg["zeusmp"] = makeProfile(
+        "zeusmp",
+        {.load = 0.26, .store = 0.11, .intAlu = 0.15, .intMul = 0.01,
+         .fp = 0.41, .branch = 0.06},
+        5.0, 0.40, 0.003, 16 * kKiB,
+        {{32 * kKiB, 0.75, false}, {16 * kMiB, 0.25, true}});
+    reg["cactusADM"] = makeProfile(
+        "cactusADM",
+        {.load = 0.30, .store = 0.12, .intAlu = 0.10, .intMul = 0.00,
+         .fp = 0.42, .branch = 0.06},
+        6.5, 0.50, 0.001, 8 * kKiB,
+        {{16 * kKiB, 0.50, false}, {48 * kMiB, 0.50, true}});
+    reg["leslie3d"] = makeProfile(
+        "leslie3d",
+        {.load = 0.28, .store = 0.11, .intAlu = 0.14, .intMul = 0.00,
+         .fp = 0.41, .branch = 0.06},
+        5.5, 0.42, 0.002, 12 * kKiB,
+        {{24 * kKiB, 0.60, false}, {32 * kMiB, 0.40, true}});
+    reg["GemsFDTD"] = makeProfile(
+        "GemsFDTD",
+        {.load = 0.30, .store = 0.12, .intAlu = 0.12, .intMul = 0.00,
+         .fp = 0.40, .branch = 0.06},
+        5.5, 0.42, 0.002, 12 * kKiB,
+        {{16 * kKiB, 0.55, false}, {64 * kMiB, 0.45, true}});
+
+    // FP compute-bound, cache-resident.
+    reg["gromacs"] = makeProfile(
+        "gromacs",
+        {.load = 0.27, .store = 0.09, .intAlu = 0.19, .intMul = 0.02,
+         .fp = 0.37, .branch = 0.06},
+        3.8, 0.30, 0.005, 32 * kKiB,
+        {{24 * kKiB, 0.93, false}, {192 * kKiB, 0.06, false},
+         {1 * kMiB, 0.01, false}});
+    reg["namd"] = makeProfile(
+        "namd",
+        {.load = 0.25, .store = 0.07, .intAlu = 0.21, .intMul = 0.01,
+         .fp = 0.41, .branch = 0.05},
+        4.2, 0.32, 0.003, 24 * kKiB,
+        {{32 * kKiB, 0.96, false}, {192 * kKiB, 0.04, false}});
+    reg["povray"] = makeProfile(
+        "povray",
+        {.load = 0.28, .store = 0.10, .intAlu = 0.25, .intMul = 0.01,
+         .fp = 0.25, .branch = 0.11},
+        2.9, 0.24, 0.012, 96 * kKiB,
+        {{32 * kKiB, 0.95, false}, {512 * kKiB, 0.05, false}});
+
+    // Integer pointer chasers.
+    reg["omnetpp"] = makeProfile(
+        "omnetpp",
+        {.load = 0.31, .store = 0.12, .intAlu = 0.36, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.20},
+        2.3, 0.16, 0.012, 96 * kKiB,
+        {{32 * kKiB, 0.72, false}, {1 * kMiB, 0.20, false},
+         {32 * kMiB, 0.08, false}});
+    reg["astar"] = makeProfile(
+        "astar",
+        {.load = 0.29, .store = 0.09, .intAlu = 0.42, .intMul = 0.00,
+         .fp = 0.00, .branch = 0.20},
+        2.4, 0.18, 0.020, 32 * kKiB,
+        {{32 * kKiB, 0.85, false}, {512 * kKiB, 0.10, false},
+         {16 * kMiB, 0.05, false}});
+    reg["xalancbmk"] = makeProfile(
+        "xalancbmk",
+        {.load = 0.30, .store = 0.10, .intAlu = 0.38, .intMul = 0.01,
+         .fp = 0.00, .branch = 0.21},
+        2.5, 0.18, 0.013, 512 * kKiB,
+        {{48 * kKiB, 0.80, false}, {1 * kMiB, 0.17, false},
+         {8 * kMiB, 0.03, false}});
+
+    return reg;
+}
+
+
+const std::map<std::string, BenchmarkProfile> &
+registry()
+{
+    static const std::map<std::string, BenchmarkProfile> reg = buildRegistry();
+    return reg;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "calculix", "gamess",  "gobmk", "h264ref",    "hmmer", "lbm",
+        "libquantum", "mcf",   "milc",  "sjeng",      "soplex", "tonto",
+    };
+    return names;
+}
+
+const BenchmarkProfile &
+specProfile(const std::string &name)
+{
+    const auto &reg = registry();
+    const auto it = reg.find(name);
+    if (it == reg.end())
+        fatal("specProfile: unknown benchmark '", name, "'");
+    return it->second;
+}
+
+const std::vector<const BenchmarkProfile *> &
+specProfiles()
+{
+    static const std::vector<const BenchmarkProfile *> all = [] {
+        std::vector<const BenchmarkProfile *> v;
+        for (const auto &name : specBenchmarkNames())
+            v.push_back(&specProfile(name));
+        return v;
+    }();
+    return all;
+}
+
+const std::vector<std::string> &
+specAllBenchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all;
+        for (const auto &[name, profile] : registry())
+            all.push_back(name);
+        return all;
+    }();
+    return names;
+}
+
+const std::vector<const BenchmarkProfile *> &
+specAllProfiles()
+{
+    static const std::vector<const BenchmarkProfile *> all = [] {
+        std::vector<const BenchmarkProfile *> v;
+        for (const auto &name : specAllBenchmarkNames())
+            v.push_back(&specProfile(name));
+        return v;
+    }();
+    return all;
+}
+
+} // namespace smtflex
+

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Registry of the 12 SPEC-CPU2006-like benchmark profiles used for the
+ * multi-program experiments (paper Section 3.2).
+ *
+ * The paper selects 12 benchmark-input pairs covering the full range of
+ * relative performance across the big/medium/small core types. Our synthetic
+ * profiles are constructed to span the same axes:
+ *  - bandwidth-bound streaming (libquantum, lbm, milc),
+ *  - DRAM-latency-bound pointer chasing (mcf),
+ *  - cache-capacity-sensitive (soplex, h264ref),
+ *  - ILP-rich compute-bound (calculix, hmmer, gamess, tonto),
+ *  - branchy low-ILP integer (gobmk, sjeng).
+ */
+
+#ifndef SMTFLEX_TRACE_SPEC_PROFILES_H
+#define SMTFLEX_TRACE_SPEC_PROFILES_H
+
+#include <string>
+#include <vector>
+
+#include "trace/profile.h"
+
+namespace smtflex {
+
+/** Names of the 12 selected study profiles, in canonical order. */
+const std::vector<std::string> &specBenchmarkNames();
+
+/** Look up a profile by name (selected or extended set); calls fatal()
+ * for unknown names. */
+const BenchmarkProfile &specProfile(const std::string &name);
+
+/** The 12 selected profiles in canonical order. */
+const std::vector<const BenchmarkProfile *> &specProfiles();
+
+/**
+ * Names of the full modelled suite (the paper evaluates all 55 SPEC
+ * CPU2006 benchmark-input pairs before selecting 12; we model 26
+ * benchmarks). Includes the 12 selected ones.
+ */
+const std::vector<std::string> &specAllBenchmarkNames();
+
+/** All modelled profiles, in canonical order. */
+const std::vector<const BenchmarkProfile *> &specAllProfiles();
+
+} // namespace smtflex
+
+#endif // SMTFLEX_TRACE_SPEC_PROFILES_H

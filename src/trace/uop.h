@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The micro-operation record produced by the trace generator and consumed by
+ * the core models.
+ */
+
+#ifndef SMTFLEX_TRACE_UOP_H
+#define SMTFLEX_TRACE_UOP_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace smtflex {
+
+/** Functional classes of micro-operations (Table 1 functional units). */
+enum class OpClass : std::uint8_t {
+    kIntAlu,  ///< simple integer ALU op (1 cycle)
+    kIntMul,  ///< integer multiply/divide (long latency, dedicated unit)
+    kFpOp,    ///< floating-point op (FP unit)
+    kLoad,    ///< memory read through the data cache hierarchy
+    kStore,   ///< memory write (write-allocate, store buffer)
+    kBranch,  ///< control transfer, possibly mispredicted
+};
+
+/** Number of distinct OpClass values. */
+inline constexpr int kNumOpClasses = 6;
+
+/**
+ * One dynamic micro-operation.
+ *
+ * Ops are generated on the fly (no trace storage). Register dependencies are
+ * encoded as a distance in dynamic ops to the producer (0 = independent),
+ * which is all the core timing models need.
+ */
+struct MicroOp
+{
+    OpClass cls = OpClass::kIntAlu;
+    /** True for a mispredicted branch (front-end redirect on resolve). */
+    bool mispredict = false;
+    /** True when this op is the first on a new instruction-cache line. */
+    bool fetchLineCross = false;
+    /** Distance (in dynamic ops) to the producer; 0 means no dependency. */
+    std::uint8_t depDist = 0;
+    /** Data address for loads/stores; 0 otherwise. */
+    Addr addr = 0;
+    /** I-cache line address, valid when fetchLineCross is set. */
+    Addr fetchAddr = 0;
+
+    bool isMem() const
+    {
+        return cls == OpClass::kLoad || cls == OpClass::kStore;
+    }
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_TRACE_UOP_H

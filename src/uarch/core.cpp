@@ -1,0 +1,204 @@
+#include "core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "uarch/inorder_core.h"
+#include "uarch/ooo_core.h"
+
+namespace smtflex {
+
+Core::Core(const CoreParams &params, std::uint32_t core_id,
+           std::uint32_t num_contexts, MemorySystem *shared,
+           double chip_freq_ghz)
+    : params_(params), coreId_(core_id), shared_(shared),
+      hierarchy_(params, core_id, shared)
+{
+    params_.validate();
+    if (num_contexts == 0 || num_contexts > params_.maxSmtContexts)
+        fatal("Core ", params_.name, ": invalid context count ",
+              num_contexts, " (max ", params_.maxSmtContexts, ")");
+    if (chip_freq_ghz <= 0.0)
+        fatal("Core ", params_.name, ": bad chip frequency");
+
+    clockRatio_ = params_.freqGHz / chip_freq_ghz;
+
+    // Retirement queue capacity: the full ROB for OoO (one context may own
+    // it all), a short pipeline buffer for in-order.
+    const std::uint32_t queue_capacity =
+        params_.outOfOrder ? params_.robSize : 16;
+    contexts_.resize(num_contexts);
+    for (auto &ctx : contexts_)
+        ctx.rob.resize(queue_capacity);
+}
+
+void
+Core::attachThread(std::uint32_t slot, ThreadSource *thread)
+{
+    if (slot >= contexts_.size())
+        fatal("Core ", params_.name, ": attach to bad slot ", slot);
+    if (contexts_[slot].thread)
+        fatal("Core ", params_.name, ": slot ", slot, " already occupied");
+    if (!thread)
+        fatal("Core ", params_.name, ": attach of null thread");
+    contexts_[slot].thread = thread;
+}
+
+ThreadSource *
+Core::detachThread(std::uint32_t slot)
+{
+    if (slot >= contexts_.size())
+        fatal("Core ", params_.name, ": detach from bad slot ", slot);
+    Context &ctx = contexts_[slot];
+    ThreadSource *old = ctx.thread;
+    ctx.thread = nullptr;
+    // Drop the staged (never dispatched) op; in-flight ops keep retiring to
+    // the detached thread through the InFlightOp::thread pointers.
+    if (ctx.hasStaged && old)
+        old->onStagedOpDropped();
+    ctx.hasStaged = false;
+    ctx.stagedFetchDone = false;
+    return old;
+}
+
+ThreadSource *
+Core::threadAt(std::uint32_t slot) const
+{
+    if (slot >= contexts_.size())
+        fatal("Core ", params_.name, ": bad slot ", slot);
+    return contexts_[slot].thread;
+}
+
+std::uint32_t
+Core::activeContexts() const
+{
+    std::uint32_t n = 0;
+    for (const auto &ctx : contexts_)
+        n += (ctx.thread != nullptr);
+    return n;
+}
+
+bool
+Core::quiescent() const
+{
+    for (const auto &ctx : contexts_) {
+        if (ctx.thread || ctx.robCount > 0)
+            return false;
+    }
+    return true;
+}
+
+void
+Core::tick(Cycle global_now)
+{
+    globalNow_ = global_now;
+    clockAccum_ += clockRatio_;
+    while (clockAccum_ >= 1.0) {
+        clockAccum_ -= 1.0;
+        ++coreNow_;
+        ++stats_.coreCycles;
+        coreCycle();
+    }
+}
+
+std::uint32_t
+Core::retireCycle(std::uint32_t budget)
+{
+    std::uint32_t retired = 0;
+    const std::uint32_t n = numContexts();
+    const std::uint32_t start = retireRotor_++ % n;
+    for (std::uint32_t k = 0; k < n && retired < budget; ++k) {
+        Context &ctx = contexts_[(start + k) % n];
+        while (retired < budget && ctx.robCount > 0) {
+            InFlightOp &head = ctx.rob[ctx.robHead];
+            if (head.completion > coreNow_)
+                break; // in-order retirement: head blocks the rest
+            if (head.thread)
+                head.thread->onRetire(globalNow_);
+            ctx.robHead = (ctx.robHead + 1) %
+                static_cast<std::uint32_t>(ctx.rob.size());
+            --ctx.robCount;
+            ++retired;
+        }
+    }
+    stats_.retired += retired;
+    return retired;
+}
+
+void
+Core::pushInFlight(Context &ctx, Cycle completion)
+{
+    const auto capacity = static_cast<std::uint32_t>(ctx.rob.size());
+    if (ctx.robCount >= capacity)
+        panic("Core ", params_.name, ": retirement queue overflow");
+    const std::uint32_t tail = (ctx.robHead + ctx.robCount) % capacity;
+    ctx.rob[tail].completion = completion;
+    ctx.rob[tail].thread = ctx.thread;
+    ++ctx.robCount;
+}
+
+std::uint32_t
+Core::robPartitionSize() const
+{
+    // Static partitioning among the contexts that currently have threads
+    // (Raasch & Reinhardt); a lone thread gets the whole window.
+    const std::uint32_t active = std::max(1u, activeContexts());
+    const std::uint32_t share = params_.robSize / active;
+    return std::max(4u, share);
+}
+
+Cycle
+Core::globalFromCore(Cycle core_future) const
+{
+    if (clockRatio_ == 1.0)
+        return globalNow_ + (core_future - coreNow_);
+    const double dg =
+        static_cast<double>(core_future - coreNow_) / clockRatio_;
+    return globalNow_ + static_cast<Cycle>(std::llround(dg));
+}
+
+Cycle
+Core::coreFromGlobal(Cycle global_future) const
+{
+    if (global_future <= globalNow_)
+        return coreNow_;
+    if (clockRatio_ == 1.0)
+        return coreNow_ + (global_future - globalNow_);
+    const double dc =
+        static_cast<double>(global_future - globalNow_) * clockRatio_;
+    return coreNow_ + static_cast<Cycle>(std::ceil(dc));
+}
+
+void
+Core::recordCompletion(Context &ctx, Cycle completion)
+{
+    ctx.depCompletion[ctx.opIndex % Context::kDepWindow] = completion;
+    ++ctx.opIndex;
+}
+
+Cycle
+Core::dependencyReady(const Context &ctx, const MicroOp &op)
+{
+    if (op.depDist == 0 || op.depDist >= Context::kDepWindow ||
+        op.depDist > ctx.opIndex) {
+        return 0;
+    }
+    const std::uint64_t producer = ctx.opIndex - op.depDist;
+    return ctx.depCompletion[producer % Context::kDepWindow];
+}
+
+std::unique_ptr<Core>
+makeCore(const CoreParams &params, std::uint32_t core_id,
+         std::uint32_t num_contexts, MemorySystem *shared,
+         double chip_freq_ghz)
+{
+    if (params.outOfOrder) {
+        return std::make_unique<OooCore>(params, core_id, num_contexts,
+                                         shared, chip_freq_ghz);
+    }
+    return std::make_unique<InOrderCore>(params, core_id, num_contexts,
+                                         shared, chip_freq_ghz);
+}
+
+} // namespace smtflex

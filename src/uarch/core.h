@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Base class of the cycle-level core models: SMT context bookkeeping,
+ * in-order retirement, clock-domain conversion, and statistics. The
+ * out-of-order (OooCore) and in-order (InOrderCore) models derive from it.
+ */
+
+#ifndef SMTFLEX_UARCH_CORE_H
+#define SMTFLEX_UARCH_CORE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/uop.h"
+#include "uarch/core_params.h"
+#include "uarch/private_hierarchy.h"
+#include "uarch/thread_source.h"
+
+namespace smtflex {
+
+/** Per-core activity counters (timing + power accounting inputs). */
+struct CoreStats
+{
+    /** Core cycles executed while the core had at least one thread. */
+    std::uint64_t coreCycles = 0;
+    /** Core cycles in which at least one op dispatched. */
+    std::uint64_t busyCycles = 0;
+    /** Dispatched op counts per OpClass. */
+    std::uint64_t dispatched[kNumOpClasses] = {};
+    /** Ops retired. */
+    std::uint64_t retired = 0;
+    /** Mispredicted branches dispatched. */
+    std::uint64_t mispredicts = 0;
+    /** Core cycles in which a context wanted to dispatch but its ROB
+     * partition was full (long-latency miss shadow). */
+    std::uint64_t robStallEvents = 0;
+    /** Dispatch attempts rejected because all MSHRs were busy. */
+    std::uint64_t mshrStallEvents = 0;
+
+    std::uint64_t totalDispatched() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto d : dispatched)
+            sum += d;
+        return sum;
+    }
+};
+
+/**
+ * A hardware core with SMT contexts, attached to the shared memory system.
+ *
+ * Time: the chip (uncore) runs at a global clock; the core may run at a
+ * different frequency (Section 8.1 "hf" variants). tick() is called once per
+ * global cycle and internally advances zero or more core cycles.
+ */
+class Core
+{
+  public:
+    /**
+     * @param params microarchitecture parameters.
+     * @param core_id index within the chip (for the shared memory system).
+     * @param num_contexts SMT contexts exposed (1 = SMT disabled);
+     *        must not exceed params.maxSmtContexts.
+     * @param shared shared memory system (not owned).
+     * @param chip_freq_ghz global clock the uncore runs at.
+     */
+    Core(const CoreParams &params, std::uint32_t core_id,
+         std::uint32_t num_contexts, MemorySystem *shared,
+         double chip_freq_ghz);
+    virtual ~Core() = default;
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    std::uint32_t coreId() const { return coreId_; }
+    const CoreParams &params() const { return params_; }
+    std::uint32_t numContexts() const
+    {
+        return static_cast<std::uint32_t>(contexts_.size());
+    }
+
+    /** Attach a thread to context @p slot (must be empty). */
+    void attachThread(std::uint32_t slot, ThreadSource *thread);
+
+    /** Detach and return the thread at @p slot (may be null). In-flight ops
+     * of the detached thread still retire to it. */
+    ThreadSource *detachThread(std::uint32_t slot);
+
+    ThreadSource *threadAt(std::uint32_t slot) const;
+
+    /** Number of contexts with a thread attached. */
+    std::uint32_t activeContexts() const;
+
+    /** True when no thread is attached and no op is in flight. */
+    bool quiescent() const;
+
+    /** Advance the core by one global cycle. */
+    void tick(Cycle global_now);
+
+    const CoreStats &stats() const { return stats_; }
+    PrivateHierarchy &hierarchy() { return hierarchy_; }
+    const PrivateHierarchy &hierarchy() const { return hierarchy_; }
+
+    /** Core-cycles actually executed (for utilisation/power). */
+    Cycle coreNow() const { return coreNow_; }
+
+  protected:
+    /** One retirement-queue entry. */
+    struct InFlightOp
+    {
+        Cycle completion = 0; ///< core cycles
+        ThreadSource *thread = nullptr;
+    };
+
+    /** Per-SMT-context state shared by both core models. */
+    struct Context
+    {
+        ThreadSource *thread = nullptr;
+
+        /** Staged op that could not dispatch yet (nothing is ever
+         * "ungenerated"). */
+        MicroOp staged{};
+        bool hasStaged = false;
+        /** I-cache probe for the staged op already performed. */
+        bool stagedFetchDone = false;
+
+        /** Front-end unavailable until this core cycle (mispredict redirect
+         * or I-cache miss). */
+        Cycle frontStallUntil = 0;
+        /** In-order models: whole context stalled until this core cycle. */
+        Cycle stallUntil = 0;
+
+        /** Dependency window: completion cycle of recent producers. */
+        static constexpr std::uint32_t kDepWindow = 64;
+        Cycle depCompletion[kDepWindow] = {};
+        std::uint64_t opIndex = 0;
+
+        /** Retirement queue (ROB partition / in-order pipeline buffer). */
+        std::vector<InFlightOp> rob;
+        std::uint32_t robHead = 0;
+        std::uint32_t robCount = 0;
+    };
+
+    /** Advance the model by one core cycle (coreNow_ already updated). */
+    virtual void coreCycle() = 0;
+
+    /** Retire up to @p budget completed ops across contexts (in order per
+     * context, round-robin across contexts). Returns ops retired. */
+    std::uint32_t retireCycle(std::uint32_t budget);
+
+    /** Push an op into @p ctx's retirement queue. */
+    void pushInFlight(Context &ctx, Cycle completion);
+
+    /** ROB partition size given current active contexts (>= 4). */
+    std::uint32_t robPartitionSize() const;
+
+    /** Convert a future core-cycle ready time to a global cycle. */
+    Cycle globalFromCore(Cycle core_future) const;
+    /** Convert a future global completion to a core cycle. */
+    Cycle coreFromGlobal(Cycle global_future) const;
+
+    /** Record the completion of op production for dependencies. */
+    static void recordCompletion(Context &ctx, Cycle completion);
+    /** Earliest core cycle the staged op's producer allows. */
+    static Cycle dependencyReady(const Context &ctx, const MicroOp &op);
+
+    CoreParams params_;
+    std::uint32_t coreId_;
+    MemorySystem *shared_;
+    PrivateHierarchy hierarchy_;
+    std::vector<Context> contexts_;
+
+    Cycle globalNow_ = 0;
+    Cycle coreNow_ = 0;
+    /** Core cycles per global cycle. */
+    double clockRatio_ = 1.0;
+    double clockAccum_ = 0.0;
+
+    /** Round-robin rotors. */
+    std::uint32_t fetchRotor_ = 0;
+    std::uint32_t retireRotor_ = 0;
+
+    CoreStats stats_;
+};
+
+/** Construct the matching model (OooCore or InOrderCore) for @p params. */
+std::unique_ptr<Core> makeCore(const CoreParams &params,
+                               std::uint32_t core_id,
+                               std::uint32_t num_contexts,
+                               MemorySystem *shared, double chip_freq_ghz);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_UARCH_CORE_H

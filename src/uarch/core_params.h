@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Microarchitectural parameters of the three core types in Table 1 of the
+ * paper: big (4-wide OoO), medium (2-wide OoO) and small (2-wide in-order).
+ */
+
+#ifndef SMTFLEX_UARCH_CORE_PARAMS_H
+#define SMTFLEX_UARCH_CORE_PARAMS_H
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.h"
+
+namespace smtflex {
+
+/** The three core types of the study. */
+enum class CoreType { kBig, kMedium, kSmall };
+
+/**
+ * SMT fetch policy of the out-of-order cores. The paper's SMT core uses
+ * round-robin (Raasch & Reinhardt); ICOUNT (Tullsen et al.) prioritises
+ * the context with the fewest ops in flight and is provided as an
+ * ablation.
+ */
+enum class FetchPolicy { kRoundRobin, kIcount };
+
+/** Printable name ("B", "m", "s"). */
+const char *coreTypeTag(CoreType type);
+
+/** Complete parameter set of one core. */
+struct CoreParams
+{
+    std::string name = "big";
+    CoreType type = CoreType::kBig;
+    bool outOfOrder = true;
+
+    /** Fetch/dispatch/retire width (ops per core cycle). */
+    std::uint32_t width = 4;
+    /** Reorder buffer entries (OoO only), statically partitioned among the
+     * active SMT contexts. */
+    std::uint32_t robSize = 128;
+    /** Maximum SMT hardware contexts. */
+    std::uint32_t maxSmtContexts = 6;
+    /** SMT fetch arbitration (OoO cores only). */
+    FetchPolicy fetchPolicy = FetchPolicy::kRoundRobin;
+
+    /** Functional units (per core cycle issue slots per class). */
+    std::uint32_t intUnits = 3;   ///< also execute branches
+    std::uint32_t ldstUnits = 2;
+    std::uint32_t mulUnits = 1;
+    std::uint32_t fpUnits = 1;
+
+    /** Execution latencies in core cycles. */
+    std::uint32_t latIntAlu = 1;
+    std::uint32_t latIntMul = 4;
+    std::uint32_t latFp = 4;
+    std::uint32_t latBranch = 1;
+
+    /** Front-end refill penalty after a mispredicted branch resolves. */
+    std::uint32_t mispredictPenalty = 10;
+
+    /** Private cache geometries. */
+    CacheGeometry l1i{32 * 1024, 4};
+    CacheGeometry l1d{32 * 1024, 4};
+    CacheGeometry l2{256 * 1024, 8};
+
+    /** Load-to-use latency of an L1D hit. */
+    std::uint32_t latL1 = 3;
+    /** Additional latency of an L2 hit. */
+    std::uint32_t latL2 = 10;
+
+    /** Miss-status holding registers: outstanding misses past the L2. */
+    std::uint32_t mshrs = 8;
+
+    /**
+     * Next-line data prefetcher: on an L1D miss, eagerly fetch the
+     * following line (hides streaming misses at the cost of bandwidth).
+     * Off by default — the paper's configuration does not specify one;
+     * bench_ablation_prefetch quantifies its effect.
+     */
+    bool dataPrefetch = false;
+
+    /** Core clock in GHz (the uncore always runs at the chip clock). */
+    double freqGHz = 2.66;
+
+    /** Table 1 big core. */
+    static CoreParams big();
+    /** Table 1 medium core. */
+    static CoreParams medium();
+    /** Table 1 small core. */
+    static CoreParams small();
+
+    /** Variant with private caches enlarged to the big core's (Section 8.1,
+     * "lc" configurations). */
+    CoreParams withBigCaches() const;
+    /** Variant clocked at @p ghz (Section 8.1, "hf" configurations). */
+    CoreParams withFrequency(double ghz) const;
+
+    /** Validate invariants; calls fatal() on nonsense. */
+    void validate() const;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_UARCH_CORE_PARAMS_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Interface between a core's private cache hierarchy and the shared
+ * memory system (crossbar + LLC + DRAM), implemented in sim/.
+ */
+
+#ifndef SMTFLEX_UARCH_MEMORY_SYSTEM_H
+#define SMTFLEX_UARCH_MEMORY_SYSTEM_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace smtflex {
+
+/**
+ * The shared side of the memory hierarchy as seen by one core.
+ * All times are in global (chip-clock) cycles.
+ */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /**
+     * Demand-fetch the line containing @p addr (L2 miss) at cycle @p now.
+     * @return the global cycle at which the line arrives at the core.
+     */
+    virtual Cycle fetchLine(Cycle now, Addr addr, std::uint32_t core_id) = 0;
+
+    /** Post a dirty-line writeback from a core's L2 (no completion needed). */
+    virtual void writebackLine(Cycle now, Addr addr,
+                               std::uint32_t core_id) = 0;
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_UARCH_MEMORY_SYSTEM_H

@@ -1,0 +1,193 @@
+#include "ooo_core.h"
+
+#include <algorithm>
+
+namespace smtflex {
+
+OooCore::OooCore(const CoreParams &params, std::uint32_t core_id,
+                 std::uint32_t num_contexts, MemorySystem *shared,
+                 double chip_freq_ghz)
+    : Core(params, core_id, num_contexts, shared, chip_freq_ghz)
+{
+}
+
+void
+OooCore::resetFuBudgets()
+{
+    fuLeft_[static_cast<int>(OpClass::kIntAlu)] = params_.intUnits;
+    fuLeft_[static_cast<int>(OpClass::kBranch)] = params_.intUnits;
+    fuLeft_[static_cast<int>(OpClass::kIntMul)] = params_.mulUnits;
+    fuLeft_[static_cast<int>(OpClass::kFpOp)] = params_.fpUnits;
+    fuLeft_[static_cast<int>(OpClass::kLoad)] = params_.ldstUnits;
+    fuLeft_[static_cast<int>(OpClass::kStore)] = params_.ldstUnits;
+}
+
+bool
+OooCore::fuAvailable(OpClass cls) const
+{
+    return fuLeft_[static_cast<int>(cls)] > 0;
+}
+
+void
+OooCore::consumeFu(OpClass cls)
+{
+    --fuLeft_[static_cast<int>(cls)];
+    // Branches and simple ALU ops share the integer units; loads and stores
+    // share the ld/st ports. Keep the paired budget consistent.
+    if (cls == OpClass::kIntAlu)
+        fuLeft_[static_cast<int>(OpClass::kBranch)] =
+            fuLeft_[static_cast<int>(OpClass::kIntAlu)];
+    else if (cls == OpClass::kBranch)
+        fuLeft_[static_cast<int>(OpClass::kIntAlu)] =
+            fuLeft_[static_cast<int>(OpClass::kBranch)];
+    else if (cls == OpClass::kLoad)
+        fuLeft_[static_cast<int>(OpClass::kStore)] =
+            fuLeft_[static_cast<int>(OpClass::kLoad)];
+    else if (cls == OpClass::kStore)
+        fuLeft_[static_cast<int>(OpClass::kLoad)] =
+            fuLeft_[static_cast<int>(OpClass::kStore)];
+}
+
+OooCore::StopReason
+OooCore::dispatchFrom(Context &ctx, std::uint32_t &budget)
+{
+    const std::uint32_t partition = robPartitionSize();
+
+    while (budget > 0) {
+        if (ctx.frontStallUntil > coreNow_)
+            return StopReason::kNone; // redirect in progress
+        if (ctx.robCount >= partition) {
+            ++stats_.robStallEvents;
+            return StopReason::kRobFull;
+        }
+
+        // Stage the next op if needed.
+        if (!ctx.hasStaged) {
+            if (!ctx.thread || !ctx.thread->hasWork())
+                return StopReason::kNoWork;
+            ctx.staged = ctx.thread->nextOp();
+            ctx.hasStaged = true;
+            ctx.stagedFetchDone = false;
+        }
+        MicroOp &op = ctx.staged;
+
+        // Instruction-cache probe for ops starting a new fetch line.
+        if (op.fetchLineCross && !ctx.stagedFetchDone) {
+            const MemAccess fetch =
+                hierarchy_.instrAccess(globalNow_, op.fetchAddr);
+            ctx.stagedFetchDone = true;
+            if (fetch.level != MemLevel::kL1) {
+                ctx.frontStallUntil = coreFromGlobal(fetch.completion);
+                return StopReason::kNone;
+            }
+        }
+
+        if (!fuAvailable(op.cls))
+            return StopReason::kFuBusy;
+
+        // Earliest execution start: dispatch next cycle, after producers.
+        const Cycle ready =
+            std::max<Cycle>(coreNow_ + 1, dependencyReady(ctx, op));
+
+        Cycle completion;
+        switch (op.cls) {
+          case OpClass::kLoad: {
+            const auto access = hierarchy_.dataAccess(
+                globalFromCore(ready), op.addr, false);
+            if (!access) {
+                ++stats_.mshrStallEvents;
+                return StopReason::kMshrFull;
+            }
+            completion = std::max(ready + params_.latL1,
+                                  coreFromGlobal(access->completion));
+            break;
+          }
+          case OpClass::kStore: {
+            const auto access = hierarchy_.dataAccess(
+                globalFromCore(ready), op.addr, true);
+            if (!access) {
+                ++stats_.mshrStallEvents;
+                return StopReason::kMshrFull;
+            }
+            // The store buffer hides the fill latency from the thread.
+            completion = ready + 1;
+            break;
+          }
+          case OpClass::kIntMul:
+            completion = ready + params_.latIntMul;
+            break;
+          case OpClass::kFpOp:
+            completion = ready + params_.latFp;
+            break;
+          case OpClass::kBranch:
+            completion = ready + params_.latBranch;
+            if (op.mispredict) {
+                ++stats_.mispredicts;
+                ctx.frontStallUntil = completion + params_.mispredictPenalty;
+            }
+            break;
+          default:
+            completion = ready + params_.latIntAlu;
+            break;
+        }
+
+        recordCompletion(ctx, completion);
+        pushInFlight(ctx, completion);
+        ++stats_.dispatched[static_cast<int>(op.cls)];
+        consumeFu(op.cls);
+        --budget;
+        const bool was_mispredict =
+            op.cls == OpClass::kBranch && op.mispredict;
+        ctx.hasStaged = false;
+        ctx.stagedFetchDone = false;
+        if (was_mispredict)
+            return StopReason::kNone; // no ops past an unresolved redirect
+    }
+    return StopReason::kNone;
+}
+
+void
+OooCore::coreCycle()
+{
+    retireCycle(params_.width);
+
+    resetFuBudgets();
+    std::uint32_t budget = params_.width;
+    const std::uint32_t n = numContexts();
+
+    // Fetch arbitration: visit order of the SMT contexts this cycle.
+    std::uint32_t order[16];
+    if (params_.fetchPolicy == FetchPolicy::kIcount && n > 1) {
+        // ICOUNT: fewest in-flight ops first (stable by index).
+        for (std::uint32_t i = 0; i < n; ++i)
+            order[i] = i;
+        for (std::uint32_t i = 1; i < n; ++i) {
+            const std::uint32_t v = order[i];
+            std::uint32_t j = i;
+            while (j > 0 &&
+                   contexts_[order[j - 1]].robCount >
+                       contexts_[v].robCount) {
+                order[j] = order[j - 1];
+                --j;
+            }
+            order[j] = v;
+        }
+    } else {
+        const std::uint32_t start = fetchRotor_++ % n;
+        for (std::uint32_t i = 0; i < n; ++i)
+            order[i] = (start + i) % n;
+    }
+
+    bool dispatched_any = false;
+    for (std::uint32_t k = 0; k < n && budget > 0; ++k) {
+        Context &ctx = contexts_[order[k]];
+        if (!ctx.thread && !ctx.hasStaged)
+            continue;
+        const std::uint32_t before = budget;
+        dispatchFrom(ctx, budget);
+        dispatched_any |= (budget != before);
+    }
+    stats_.busyCycles += dispatched_any;
+}
+
+} // namespace smtflex

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The interface a core uses to pull work from, and report progress to, an
+ * attached software thread. The simulation layer (sim/, workload/) owns the
+ * concrete implementations (multi-program threads, PARSEC worker threads).
+ */
+
+#ifndef SMTFLEX_UARCH_THREAD_SOURCE_H
+#define SMTFLEX_UARCH_THREAD_SOURCE_H
+
+#include "common/types.h"
+#include "trace/uop.h"
+
+namespace smtflex {
+
+/**
+ * A stream of micro-ops plus retirement notifications.
+ */
+class ThreadSource
+{
+  public:
+    virtual ~ThreadSource() = default;
+
+    /** Produce the next micro-op of this thread. Only called while the
+     * thread has work (hasWork() returned true this cycle). */
+    virtual MicroOp nextOp() = 0;
+
+    /**
+     * True while the thread should keep executing. When this turns false
+     * (budget exhausted and no restart, or blocked on synchronisation) the
+     * core stops fetching; in-flight ops still retire.
+     */
+    virtual bool hasWork() = 0;
+
+    /** One op of this thread retired at global cycle @p now. */
+    virtual void onRetire(Cycle now) = 0;
+
+    /**
+     * A fetched-but-never-dispatched op was discarded because the thread
+     * was detached (context switch / throttling). Sources that count
+     * generated ops against a target must roll one back.
+     */
+    virtual void onStagedOpDropped() {}
+};
+
+} // namespace smtflex
+
+#endif // SMTFLEX_UARCH_THREAD_SOURCE_H

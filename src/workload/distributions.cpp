@@ -1,0 +1,46 @@
+#include "distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+DiscreteDistribution
+uniformThreadCounts(std::size_t max_threads)
+{
+    if (max_threads == 0)
+        fatal("uniformThreadCounts: zero thread count");
+    return DiscreteDistribution(std::vector<double>(max_threads, 1.0));
+}
+
+DiscreteDistribution
+datacenterThreadCounts(std::size_t max_threads)
+{
+    if (max_threads == 0)
+        fatal("datacenterThreadCounts: zero thread count");
+    // Two-component shape fitted to paper Fig. 10a (peak ~0.11 at 1 thread,
+    // hump ~0.065 around 7-9 threads, ~0.01 tail at 24): an exponential
+    // idle peak plus a Gaussian hump at 1/3 utilisation.
+    std::vector<double> w(max_threads);
+    const double hump_centre = 8.0 * static_cast<double>(max_threads) / 24.0;
+    const double hump_width = 3.5 * static_cast<double>(max_threads) / 24.0;
+    for (std::size_t i = 0; i < max_threads; ++i) {
+        const double n = static_cast<double>(i + 1);
+        const double idle_peak = 0.105 * std::exp(-(n - 1.0) / 1.6);
+        const double hump = 0.062 *
+            std::exp(-0.5 * std::pow((n - hump_centre) / hump_width, 2.0));
+        const double floor = 0.008;
+        w[i] = idle_peak + hump + floor;
+    }
+    return DiscreteDistribution(std::move(w));
+}
+
+DiscreteDistribution
+mirroredDatacenterThreadCounts(std::size_t max_threads)
+{
+    return datacenterThreadCounts(max_threads).mirrored();
+}
+
+} // namespace smtflex

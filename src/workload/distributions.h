@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Active-thread-count distributions used to aggregate performance across
+ * thread counts (paper Section 4.2): uniform, the datacenter utilisation
+ * distribution of Barroso & Holzle adapted to 24 threads, and its mirror.
+ */
+
+#ifndef SMTFLEX_WORKLOAD_DISTRIBUTIONS_H
+#define SMTFLEX_WORKLOAD_DISTRIBUTIONS_H
+
+#include <cstddef>
+
+#include "common/stats.h"
+
+namespace smtflex {
+
+/** Every thread count 1..max equally likely (Section 4.2.1). */
+DiscreteDistribution uniformThreadCounts(std::size_t max_threads = 24);
+
+/**
+ * The datacenter CPU-utilisation distribution (Barroso & Holzle) mapped to
+ * 1..max threads: a peak at 1 thread (near-zero utilisation) and a second
+ * hump around 7-9 threads (~30-40% utilisation), tailing off towards full
+ * utilisation (paper Fig. 10a).
+ */
+DiscreteDistribution datacenterThreadCounts(std::size_t max_threads = 24);
+
+/** The datacenter distribution mirrored around the centre: a heavily
+ * loaded server park (peaks at max and around 16-18 threads). */
+DiscreteDistribution
+mirroredDatacenterThreadCounts(std::size_t max_threads = 24);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_WORKLOAD_DISTRIBUTIONS_H

@@ -1,0 +1,68 @@
+#include "multiprogram.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+
+std::vector<ThreadSpec>
+MultiProgramWorkload::specs(InstrCount budget, InstrCount warmup) const
+{
+    if (budget == 0)
+        fatal("MultiProgramWorkload: zero budget");
+    std::vector<ThreadSpec> result;
+    result.reserve(programs.size());
+    for (const auto *profile : programs)
+        result.push_back({profile, budget, warmup});
+    return result;
+}
+
+MultiProgramWorkload
+homogeneousWorkload(const std::string &benchmark, std::size_t n)
+{
+    if (n == 0)
+        fatal("homogeneousWorkload: zero threads");
+    MultiProgramWorkload w;
+    w.name = benchmark + "x" + std::to_string(n);
+    w.programs.assign(n, &specProfile(benchmark));
+    return w;
+}
+
+std::vector<MultiProgramWorkload>
+heterogeneousWorkloads(std::size_t n, std::size_t count, std::uint64_t seed)
+{
+    if (n == 0 || count == 0)
+        fatal("heterogeneousWorkloads: empty request");
+    const auto &bench = specProfiles();
+    const std::size_t total = n * count;
+    if (total % bench.size() != 0)
+        fatal("heterogeneousWorkloads: ", count, " mixes of ", n,
+              " threads cannot balance ", bench.size(), " benchmarks");
+
+    // Balanced pool: every benchmark exactly total/12 times, shuffled.
+    std::vector<const BenchmarkProfile *> pool;
+    pool.reserve(total);
+    for (std::size_t r = 0; r < total / bench.size(); ++r)
+        pool.insert(pool.end(), bench.begin(), bench.end());
+
+    Rng rng(seed, n);
+    for (std::size_t i = pool.size(); i > 1; --i)
+        std::swap(pool[i - 1], pool[rng.nextRange(i)]);
+
+    std::vector<MultiProgramWorkload> mixes;
+    mixes.reserve(count);
+    for (std::size_t m = 0; m < count; ++m) {
+        MultiProgramWorkload w;
+        w.name = "het" + std::to_string(n) + "t-" + std::to_string(m);
+        w.programs.assign(pool.begin() + static_cast<std::ptrdiff_t>(m * n),
+                          pool.begin() +
+                              static_cast<std::ptrdiff_t>((m + 1) * n));
+        mixes.push_back(std::move(w));
+    }
+    return mixes;
+}
+
+} // namespace smtflex

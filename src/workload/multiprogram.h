@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multi-program workload construction (paper Section 3.2): homogeneous
+ * workloads (n copies of one benchmark) and heterogeneous workloads built
+ * with balanced random sampling (Velasquez et al.), where every benchmark
+ * appears an equal number of times across the mixes of each thread count.
+ */
+
+#ifndef SMTFLEX_WORKLOAD_MULTIPROGRAM_H
+#define SMTFLEX_WORKLOAD_MULTIPROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/chip_sim.h"
+#include "trace/profile.h"
+
+namespace smtflex {
+
+/** A named list of programs to co-run. */
+struct MultiProgramWorkload
+{
+    std::string name;
+    std::vector<const BenchmarkProfile *> programs;
+
+    std::size_t size() const { return programs.size(); }
+
+    /** Expand into ThreadSpecs with a common budget and warmup. */
+    std::vector<ThreadSpec> specs(InstrCount budget,
+                                  InstrCount warmup = 0) const;
+};
+
+/** n copies of one benchmark. */
+MultiProgramWorkload homogeneousWorkload(const std::string &benchmark,
+                                         std::size_t n);
+
+/**
+ * Balanced random heterogeneous mixes for one thread count: @p count mixes
+ * of @p n programs such that every one of the 12 benchmarks appears the
+ * same number of times overall (requires 12 | count * n or count == 12).
+ */
+std::vector<MultiProgramWorkload>
+heterogeneousWorkloads(std::size_t n, std::size_t count, std::uint64_t seed);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_WORKLOAD_MULTIPROGRAM_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PARSEC-like multi-threaded application models (paper Sections 2.1 and 5).
+ *
+ * Each application is modelled as: a sequential initialisation phase, a
+ * parallel region of interest (ROI) consisting of phases separated by
+ * barriers with per-thread load imbalance and lock-protected critical
+ * sections, and a sequential finalisation phase. Threads that block on a
+ * barrier or lock yield the processor (are detached), so the number of
+ * active threads varies over time exactly as the paper's Figure 1 shows.
+ */
+
+#ifndef SMTFLEX_WORKLOAD_PARSEC_H
+#define SMTFLEX_WORKLOAD_PARSEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/profile.h"
+
+namespace smtflex {
+
+/** Behavioural model of one PARSEC-like application. */
+struct ParsecProfile
+{
+    std::string name;
+    /** Instruction-level behaviour of the worker threads. */
+    BenchmarkProfile kernel;
+    /** Instruction-level behaviour of the sequential phases. */
+    BenchmarkProfile serialKernel;
+
+    /** Sequential initialisation / finalisation work (instructions). */
+    InstrCount seqInitInstr = 0;
+    InstrCount seqFinalInstr = 0;
+
+    /** Total parallel work in the ROI (single-thread instructions). */
+    InstrCount roiInstr = 0;
+    /** Number of barrier-separated phases inside the ROI. */
+    std::uint32_t numPhases = 1;
+    /** Sequential work the master performs between phases (pipeline
+     * refills, reductions); executed while workers wait. */
+    InstrCount serialPerPhase = 0;
+
+    /** Coefficient of variation of per-thread work per phase. */
+    double imbalanceCv = 0.1;
+    /** Fraction of each worker's work inside a global critical section. */
+    double criticalFraction = 0.0;
+    /** Parallel work divides across at most this many threads (pipeline
+     * stage limits etc.); extra threads stay idle. */
+    std::uint32_t maxParallelism = 64;
+    /** Fraction of worker data accesses going to shared data. */
+    double sharedFraction = 0.2;
+
+    void validate() const;
+};
+
+/** Names of the modelled PARSEC benchmarks, canonical order. */
+const std::vector<std::string> &parsecBenchmarkNames();
+
+/** Look up a model by name; fatal() for unknown names. */
+const ParsecProfile &parsecProfile(const std::string &name);
+
+/** All models in canonical order. */
+const std::vector<const ParsecProfile *> &parsecProfiles();
+
+} // namespace smtflex
+
+#endif // SMTFLEX_WORKLOAD_PARSEC_H

@@ -1,0 +1,376 @@
+#include "parsec.h"
+
+#include <map>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+void
+ParsecProfile::validate() const
+{
+    if (name.empty())
+        fatal("ParsecProfile: empty name");
+    kernel.validate();
+    serialKernel.validate();
+    if (roiInstr == 0)
+        fatal("ParsecProfile ", name, ": empty ROI");
+    if (numPhases == 0)
+        fatal("ParsecProfile ", name, ": need at least one phase");
+    if (criticalFraction < 0.0 || criticalFraction >= 1.0)
+        fatal("ParsecProfile ", name, ": bad critical fraction");
+    if (maxParallelism == 0)
+        fatal("ParsecProfile ", name, ": zero parallelism");
+    if (sharedFraction < 0.0 || sharedFraction > 1.0)
+        fatal("ParsecProfile ", name, ": bad shared fraction");
+}
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+/** Worker kernel builder. */
+BenchmarkProfile
+kernelProfile(const std::string &name, InstrMix mix, double dep,
+              double dep_none, double mispredict,
+              std::vector<MemRegion> regions)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.mix = mix;
+    p.meanDepDist = dep;
+    p.depNoneProb = dep_none;
+    p.branchMispredictRate = mispredict;
+    p.codeFootprint = 24 * kKiB;
+    p.regions = std::move(regions);
+    p.validate();
+    return p;
+}
+
+/** Generic sequential phase behaviour (parsing/IO-like integer code). */
+BenchmarkProfile
+serialProfile(const std::string &name)
+{
+    return kernelProfile(
+        name + ".serial",
+        {.load = 0.28, .store = 0.12, .intAlu = 0.42, .intMul = 0.01,
+         .fp = 0.02, .branch = 0.15},
+        2.8, 0.22, 0.012,
+        {{64 * kKiB, 0.80, false}, {16 * kMiB, 0.20, true}});
+}
+
+std::map<std::string, ParsecProfile>
+buildRegistry()
+{
+    std::map<std::string, ParsecProfile> reg;
+
+    // The total-work scale: chosen so runs are fast but long enough for the
+    // caches to warm; study-level results use ratios only.
+    constexpr InstrCount kRoi = 1'000'000;
+
+    auto add = [&reg](ParsecProfile p) {
+        p.serialKernel = serialProfile(p.name);
+        p.validate();
+        reg[p.name] = std::move(p);
+    };
+
+    // blackscholes: embarrassingly parallel FP, tiny working set, almost
+    // no synchronisation; ~20 active threads nearly all the time (Fig. 1).
+    {
+        ParsecProfile p;
+        p.name = "blackscholes";
+        p.kernel = kernelProfile(
+            "blackscholes.kernel",
+            {.load = 0.24, .store = 0.08, .intAlu = 0.18, .intMul = 0.01,
+             .fp = 0.43, .branch = 0.06},
+            4.0, 0.30, 0.002,
+            {{16 * kKiB, 0.92, false}, {8 * kMiB, 0.08, true}});
+        p.seqInitInstr = 40'000;
+        p.seqFinalInstr = 15'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 4;
+        p.imbalanceCv = 0.03;
+        p.criticalFraction = 0.0;
+        p.maxParallelism = 64;
+        p.sharedFraction = 0.05;
+        add(std::move(p));
+    }
+
+    // bodytrack: alternating serial and parallel stages -> the "1 or 20
+    // active threads" bimodal of Fig. 1.
+    {
+        ParsecProfile p;
+        p.name = "bodytrack";
+        p.kernel = kernelProfile(
+            "bodytrack.kernel",
+            {.load = 0.27, .store = 0.10, .intAlu = 0.25, .intMul = 0.02,
+             .fp = 0.28, .branch = 0.08},
+            3.2, 0.25, 0.006,
+            {{32 * kKiB, 0.90, false}, {128 * kKiB, 0.085, false},
+             {2 * kMiB, 0.015, false}});
+        p.seqInitInstr = 60'000;
+        p.seqFinalInstr = 20'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 12;
+        p.serialPerPhase = 18'000;
+        p.imbalanceCv = 0.12;
+        p.criticalFraction = 0.002;
+        p.maxParallelism = 64;
+        p.sharedFraction = 0.15;
+        add(std::move(p));
+    }
+
+    // canneal: cache-hostile random accesses over a large shared graph;
+    // scales well in thread count but is memory-bound.
+    {
+        ParsecProfile p;
+        p.name = "canneal";
+        p.kernel = kernelProfile(
+            "canneal.kernel",
+            {.load = 0.33, .store = 0.09, .intAlu = 0.35, .intMul = 0.00,
+             .fp = 0.05, .branch = 0.18},
+            2.4, 0.18, 0.010,
+            {{32 * kKiB, 0.73, false}, {2 * kMiB, 0.22, false},
+             {96 * kMiB, 0.05, false}});
+        p.seqInitInstr = 80'000;
+        p.seqFinalInstr = 15'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 6;
+        p.imbalanceCv = 0.05;
+        p.criticalFraction = 0.001;
+        p.maxParallelism = 64;
+        p.sharedFraction = 0.75;
+        add(std::move(p));
+    }
+
+    // dedup: pipeline with a limited number of useful stages/threads and
+    // queue locks.
+    {
+        ParsecProfile p;
+        p.name = "dedup";
+        p.kernel = kernelProfile(
+            "dedup.kernel",
+            {.load = 0.30, .store = 0.14, .intAlu = 0.38, .intMul = 0.02,
+             .fp = 0.00, .branch = 0.16},
+            3.0, 0.25, 0.008,
+            {{48 * kKiB, 0.75, false}, {32 * kMiB, 0.25, true}});
+        p.seqInitInstr = 50'000;
+        p.seqFinalInstr = 25'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 8;
+        p.imbalanceCv = 0.35;
+        p.criticalFraction = 0.015;
+        p.maxParallelism = 12;
+        p.sharedFraction = 0.40;
+        add(std::move(p));
+    }
+
+    // ferret: pipeline; saturates around 8 threads, large thread-count
+    // variation (Fig. 1).
+    {
+        ParsecProfile p;
+        p.name = "ferret";
+        p.kernel = kernelProfile(
+            "ferret.kernel",
+            {.load = 0.29, .store = 0.09, .intAlu = 0.28, .intMul = 0.02,
+             .fp = 0.22, .branch = 0.10},
+            3.4, 0.28, 0.007,
+            {{64 * kKiB, 0.86, false}, {512 * kKiB, 0.12, false},
+             {24 * kMiB, 0.02, false}});
+        p.seqInitInstr = 70'000;
+        p.seqFinalInstr = 20'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 10;
+        p.serialPerPhase = 6'000;
+        p.imbalanceCv = 0.45;
+        p.criticalFraction = 0.010;
+        p.maxParallelism = 8;
+        p.sharedFraction = 0.30;
+        add(std::move(p));
+    }
+
+    // freqmine: mining with shared structures; moderate scaling, big
+    // imbalance.
+    {
+        ParsecProfile p;
+        p.name = "freqmine";
+        p.kernel = kernelProfile(
+            "freqmine.kernel",
+            {.load = 0.31, .store = 0.11, .intAlu = 0.38, .intMul = 0.01,
+             .fp = 0.02, .branch = 0.17},
+            2.7, 0.20, 0.011,
+            {{64 * kKiB, 0.86, false}, {1 * kMiB, 0.12, false},
+             {48 * kMiB, 0.02, false}});
+        p.seqInitInstr = 90'000;
+        p.seqFinalInstr = 30'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 9;
+        p.serialPerPhase = 10'000;
+        p.imbalanceCv = 0.50;
+        p.criticalFraction = 0.008;
+        p.maxParallelism = 12;
+        p.sharedFraction = 0.50;
+        add(std::move(p));
+    }
+
+    // raytrace: scales well, cache-friendly FP with read-mostly shared
+    // scene data.
+    {
+        ParsecProfile p;
+        p.name = "raytrace";
+        p.kernel = kernelProfile(
+            "raytrace.kernel",
+            {.load = 0.26, .store = 0.07, .intAlu = 0.20, .intMul = 0.01,
+             .fp = 0.38, .branch = 0.08},
+            3.8, 0.30, 0.004,
+            {{32 * kKiB, 0.86, false}, {1 * kMiB, 0.12, false},
+             {16 * kMiB, 0.02, false}});
+        p.seqInitInstr = 65'000;
+        p.seqFinalInstr = 10'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 5;
+        p.imbalanceCv = 0.08;
+        p.criticalFraction = 0.001;
+        p.maxParallelism = 64;
+        p.sharedFraction = 0.60;
+        add(std::move(p));
+    }
+
+    // streamcluster: barrier-heavy streaming kernel; scaling limited by
+    // frequent synchronisation.
+    {
+        ParsecProfile p;
+        p.name = "streamcluster";
+        p.kernel = kernelProfile(
+            "streamcluster.kernel",
+            {.load = 0.30, .store = 0.08, .intAlu = 0.22, .intMul = 0.01,
+             .fp = 0.32, .branch = 0.07},
+            4.5, 0.35, 0.003,
+            {{24 * kKiB, 0.40, false}, {40 * kMiB, 0.60, true}});
+        p.seqInitInstr = 45'000;
+        p.seqFinalInstr = 12'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 24;
+        p.serialPerPhase = 2'500;
+        p.imbalanceCv = 0.10;
+        p.criticalFraction = 0.002;
+        p.maxParallelism = 64;
+        p.sharedFraction = 0.45;
+        add(std::move(p));
+    }
+
+    // swaptions: coarse independent blocks; near-perfect scaling when the
+    // block count divides the thread count, bimodal active counts.
+    {
+        ParsecProfile p;
+        p.name = "swaptions";
+        p.kernel = kernelProfile(
+            "swaptions.kernel",
+            {.load = 0.23, .store = 0.08, .intAlu = 0.20, .intMul = 0.02,
+             .fp = 0.41, .branch = 0.06},
+            3.6, 0.28, 0.003,
+            {{24 * kKiB, 0.96, false}, {2 * kMiB, 0.04, false}});
+        p.seqInitInstr = 25'000;
+        p.seqFinalInstr = 8'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 2;
+        p.imbalanceCv = 0.55; // coarse blocks -> stragglers
+        p.criticalFraction = 0.0;
+        p.maxParallelism = 64;
+        p.sharedFraction = 0.05;
+        add(std::move(p));
+    }
+
+    // vips: image pipeline, moderate scaling.
+    {
+        ParsecProfile p;
+        p.name = "vips";
+        p.kernel = kernelProfile(
+            "vips.kernel",
+            {.load = 0.29, .store = 0.12, .intAlu = 0.33, .intMul = 0.02,
+             .fp = 0.12, .branch = 0.12},
+            3.3, 0.26, 0.007,
+            {{48 * kKiB, 0.75, false}, {28 * kMiB, 0.25, true}});
+        p.seqInitInstr = 55'000;
+        p.seqFinalInstr = 18'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 8;
+        p.serialPerPhase = 4'000;
+        p.imbalanceCv = 0.20;
+        p.criticalFraction = 0.004;
+        p.maxParallelism = 16;
+        p.sharedFraction = 0.35;
+        add(std::move(p));
+    }
+
+    // x264: wavefront/pipeline encoder; scaling limited by frame
+    // dependencies.
+    {
+        ParsecProfile p;
+        p.name = "x264";
+        p.kernel = kernelProfile(
+            "x264.kernel",
+            {.load = 0.28, .store = 0.12, .intAlu = 0.40, .intMul = 0.04,
+             .fp = 0.04, .branch = 0.12},
+            3.5, 0.28, 0.009,
+            {{64 * kKiB, 0.89, false}, {512 * kKiB, 0.09, false},
+             {12 * kMiB, 0.02, false}});
+        p.seqInitInstr = 35'000;
+        p.seqFinalInstr = 15'000;
+        p.roiInstr = kRoi;
+        p.numPhases = 10;
+        p.serialPerPhase = 5'000;
+        p.imbalanceCv = 0.30;
+        p.criticalFraction = 0.006;
+        p.maxParallelism = 16;
+        p.sharedFraction = 0.30;
+        add(std::move(p));
+    }
+
+    return reg;
+}
+
+const std::map<std::string, ParsecProfile> &
+registry()
+{
+    static const std::map<std::string, ParsecProfile> reg = buildRegistry();
+    return reg;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+parsecBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "blackscholes", "bodytrack", "canneal",       "dedup",
+        "ferret",       "freqmine",  "raytrace",      "streamcluster",
+        "swaptions",    "vips",      "x264",
+    };
+    return names;
+}
+
+const ParsecProfile &
+parsecProfile(const std::string &name)
+{
+    const auto &reg = registry();
+    const auto it = reg.find(name);
+    if (it == reg.end())
+        fatal("parsecProfile: unknown benchmark '", name, "'");
+    return it->second;
+}
+
+const std::vector<const ParsecProfile *> &
+parsecProfiles()
+{
+    static const std::vector<const ParsecProfile *> all = [] {
+        std::vector<const ParsecProfile *> v;
+        for (const auto &name : parsecBenchmarkNames())
+            v.push_back(&parsecProfile(name));
+        return v;
+    }();
+    return all;
+}
+
+} // namespace smtflex

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the Hill & Marty analytical models, checked against the
+ * published properties of the curves (IEEE Computer 2008).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/hill_marty.h"
+#include "common/log.h"
+
+namespace smtflex {
+namespace {
+
+TEST(HillMartyTest, PerfIsSqrt)
+{
+    EXPECT_DOUBLE_EQ(hillMartyPerf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(hillMartyPerf(4.0), 2.0);
+    EXPECT_DOUBLE_EQ(hillMartyPerf(16.0), 4.0);
+    EXPECT_THROW(hillMartyPerf(0.0), FatalError);
+}
+
+TEST(HillMartyTest, FullySequentialWantsOneBigCore)
+{
+    HillMartyParams p;
+    p.budgetBce = 16.0;
+    p.parallelFraction = 0.0;
+    double r = 0.0;
+    const double best = bestSymmetricSpeedup(p, &r);
+    EXPECT_NEAR(r, 16.0, 0.1);
+    EXPECT_NEAR(best, 4.0, 0.01); // sqrt(16)
+}
+
+TEST(HillMartyTest, FullyParallelWantsBaseCores)
+{
+    HillMartyParams p;
+    p.budgetBce = 16.0;
+    p.parallelFraction = 1.0;
+    double r = 0.0;
+    const double best = bestSymmetricSpeedup(p, &r);
+    EXPECT_NEAR(r, 1.0, 0.1);
+    EXPECT_NEAR(best, 16.0, 0.01);
+}
+
+TEST(HillMartyTest, KnownSymmetricValue)
+{
+    // f=0.5, n=16, r=16: T = 0.5/4 + 0.5/4 = 0.25 -> speedup 4.
+    HillMartyParams p;
+    p.budgetBce = 16.0;
+    p.parallelFraction = 0.5;
+    EXPECT_NEAR(symmetricSpeedup(p, 16.0), 4.0, 1e-9);
+    // r=1: T = 0.5 + 0.5/16 -> speedup ~1.882.
+    EXPECT_NEAR(symmetricSpeedup(p, 1.0), 1.0 / (0.5 + 0.5 / 16.0), 1e-9);
+}
+
+TEST(HillMartyTest, AsymmetricBeatsSymmetric)
+{
+    // Hill & Marty's headline: for most f, asymmetric > best symmetric.
+    for (const double f : {0.5, 0.9, 0.975}) {
+        HillMartyParams p;
+        p.budgetBce = 64.0;
+        p.parallelFraction = f;
+        EXPECT_GE(bestAsymmetricSpeedup(p), bestSymmetricSpeedup(p) - 1e-9)
+            << "f=" << f;
+    }
+    HillMartyParams p;
+    p.budgetBce = 64.0;
+    p.parallelFraction = 0.9;
+    EXPECT_GT(bestAsymmetricSpeedup(p), 1.1 * bestSymmetricSpeedup(p));
+}
+
+TEST(HillMartyTest, DynamicBeatsAsymmetric)
+{
+    for (const double f : {0.5, 0.9, 0.99}) {
+        HillMartyParams p;
+        p.budgetBce = 64.0;
+        p.parallelFraction = f;
+        EXPECT_GE(bestDynamicSpeedup(p), bestAsymmetricSpeedup(p) - 1e-9)
+            << "f=" << f;
+    }
+}
+
+TEST(HillMartyTest, DynamicClosedForm)
+{
+    // Dynamic best always uses r = budget for the sequential phase.
+    HillMartyParams p;
+    p.budgetBce = 64.0;
+    p.parallelFraction = 0.9;
+    double r = 0.0;
+    const double best = bestDynamicSpeedup(p, &r);
+    EXPECT_NEAR(r, 64.0, 0.1);
+    EXPECT_NEAR(best, 1.0 / (0.1 / 8.0 + 0.9 / 64.0), 1e-6);
+}
+
+TEST(HillMartyTest, ParameterValidation)
+{
+    HillMartyParams p;
+    p.budgetBce = 16.0;
+    p.parallelFraction = 1.5;
+    EXPECT_THROW(symmetricSpeedup(p, 4.0), FatalError);
+    p.parallelFraction = 0.5;
+    EXPECT_THROW(symmetricSpeedup(p, 0.5), FatalError);
+    EXPECT_THROW(symmetricSpeedup(p, 17.0), FatalError);
+    p.budgetBce = 0.5;
+    EXPECT_THROW(symmetricSpeedup(p, 1.0), FatalError);
+}
+
+TEST(HillMartyTest, CustomPerfFunction)
+{
+    HillMartyParams p;
+    p.budgetBce = 16.0;
+    p.parallelFraction = 0.0;
+    p.perf = [](double r) { return r; }; // linear: big core always wins
+    EXPECT_NEAR(symmetricSpeedup(p, 16.0), 16.0, 1e-9);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the log sink redirection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+
+namespace smtflex {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>> captured;
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    captured.emplace_back(level, msg);
+}
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        captured.clear();
+        setLogSink(&captureSink);
+    }
+    void TearDown() override { setLogSink(nullptr); }
+};
+
+TEST_F(LogTest, InformGoesToSink)
+{
+    inform("hello ", 42);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::kInform);
+    EXPECT_EQ(captured[0].second, "hello 42");
+}
+
+TEST_F(LogTest, WarnLevel)
+{
+    warn("x=", 1.5);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+    EXPECT_EQ(captured[0].second, "x=1.5");
+}
+
+TEST_F(LogTest, FatalThrowsFatalErrorAfterSink)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::kFatal);
+    EXPECT_EQ(captured[0].second, "bad config");
+}
+
+TEST_F(LogTest, PanicThrowsPanicErrorAfterSink)
+{
+    EXPECT_THROW(panic("bug ", 7), PanicError);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::kPanic);
+    EXPECT_EQ(captured[0].second, "bug 7");
+}
+
+TEST_F(LogTest, FatalMessageCarriedInException)
+{
+    try {
+        fatal("detail ", 3);
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "detail 3");
+    }
+}
+
+TEST_F(LogTest, SinkRestoreReturnsPrevious)
+{
+    const LogSink prev = setLogSink(nullptr);
+    EXPECT_EQ(prev, &captureSink);
+    setLogSink(&captureSink);
+}
+
+} // namespace
+} // namespace smtflex

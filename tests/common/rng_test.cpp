@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic Rng.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace smtflex {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DifferentStreamsDiffer)
+{
+    Rng a(42, 0), b(42, 1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDouble();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextRangeRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextRange(bound), bound);
+    }
+}
+
+TEST(RngTest, NextRangeCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextRange(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolEdgeCases)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(RngTest, NextBoolProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GeometricMeanMatches)
+{
+    Rng rng(17);
+    for (double mean : {1.0, 2.0, 3.5, 8.0}) {
+        double sum = 0.0;
+        const int n = 50000;
+        for (int i = 0; i < n; ++i)
+            sum += rng.nextGeometric(mean);
+        EXPECT_NEAR(sum / n, mean, mean * 0.05) << "mean=" << mean;
+    }
+}
+
+TEST(RngTest, GeometricMinimumIsOne)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.nextGeometric(4.0), 1u);
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LognormalMeanAndPositivity)
+{
+    Rng rng(29);
+    const double mean = 5.0, cv = 0.5;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.nextLognormal(mean, cv);
+        EXPECT_GT(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.03);
+}
+
+TEST(RngTest, LognormalZeroCvIsDeterministic)
+{
+    Rng rng(31);
+    EXPECT_DOUBLE_EQ(rng.nextLognormal(3.0, 0.0), 3.0);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for means, RunningStat, Histogram and DiscreteDistribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace smtflex {
+namespace {
+
+TEST(MeansTest, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(MeansTest, Harmonic)
+{
+    // hmean(1, 2) = 2 / (1 + 1/2) = 4/3.
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(MeansTest, HarmonicLeqArithmetic)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<double> v;
+        for (int i = 0; i < 10; ++i)
+            v.push_back(0.1 + rng.nextDouble() * 10.0);
+        EXPECT_LE(harmonicMean(v), arithmeticMean(v) + 1e-12);
+        EXPECT_LE(geometricMean(v), arithmeticMean(v) + 1e-12);
+        EXPECT_LE(harmonicMean(v), geometricMean(v) + 1e-12);
+    }
+}
+
+TEST(MeansTest, WeightedArithmetic)
+{
+    EXPECT_DOUBLE_EQ(
+        weightedArithmeticMean({1.0, 3.0}, {1.0, 3.0}), 2.5);
+    // Zero weights -> 0.
+    EXPECT_DOUBLE_EQ(weightedArithmeticMean({1.0}, {0.0}), 0.0);
+}
+
+TEST(MeansTest, WeightedHarmonicReducesToPlain)
+{
+    const std::vector<double> v = {1.0, 2.0, 4.0};
+    const std::vector<double> w = {1.0, 1.0, 1.0};
+    EXPECT_NEAR(weightedHarmonicMean(v, w), harmonicMean(v), 1e-12);
+}
+
+TEST(MeansTest, WeightedHarmonicIgnoresZeroWeight)
+{
+    EXPECT_NEAR(weightedHarmonicMean({1.0, 100.0}, {1.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(RunningStatTest, Moments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Sample variance with n-1 = 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(HistogramTest, FractionsAndClamping)
+{
+    Histogram h(4);
+    h.add(0, 1.0);
+    h.add(2, 3.0);
+    h.add(9, 1.0); // clamps into bucket 4
+    EXPECT_DOUBLE_EQ(h.total(), 5.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.2);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.6);
+    EXPECT_DOUBLE_EQ(h.fraction(4), 0.2);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+    EXPECT_EQ(h.numBuckets(), 5u);
+}
+
+TEST(DiscreteDistributionTest, NormalisesWeights)
+{
+    DiscreteDistribution d({1.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(d.probability(1), 0.25);
+    EXPECT_DOUBLE_EQ(d.probability(2), 0.25);
+    EXPECT_DOUBLE_EQ(d.probability(3), 0.5);
+    EXPECT_DOUBLE_EQ(d.probability(4), 0.0);
+    EXPECT_DOUBLE_EQ(d.probability(0), 0.0);
+}
+
+TEST(DiscreteDistributionTest, Mean)
+{
+    DiscreteDistribution d({1.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(d.mean(), 0.25 * 1 + 0.25 * 2 + 0.5 * 3);
+}
+
+TEST(DiscreteDistributionTest, SamplingMatchesProbabilities)
+{
+    DiscreteDistribution d({0.1, 0.0, 0.9});
+    Rng rng(99);
+    int counts[4] = {0, 0, 0, 0};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const std::size_t v = d.sample(rng);
+        ASSERT_GE(v, 1u);
+        ASSERT_LE(v, 3u);
+        ++counts[v];
+    }
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.9, 0.01);
+}
+
+TEST(DiscreteDistributionTest, Mirrored)
+{
+    DiscreteDistribution d({0.5, 0.3, 0.2});
+    const DiscreteDistribution m = d.mirrored();
+    EXPECT_DOUBLE_EQ(m.probability(1), 0.2);
+    EXPECT_DOUBLE_EQ(m.probability(2), 0.3);
+    EXPECT_DOUBLE_EQ(m.probability(3), 0.5);
+    // Mirroring twice is the identity.
+    const DiscreteDistribution mm = m.mirrored();
+    for (std::size_t k = 1; k <= 3; ++k)
+        EXPECT_DOUBLE_EQ(mm.probability(k), d.probability(k));
+}
+
+// Property sweep: a distribution and its mirror have means summing to N+1.
+class MirrorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MirrorProperty, MeanSymmetry)
+{
+    const int n = GetParam();
+    Rng rng(1234 + n);
+    std::vector<double> w;
+    for (int i = 0; i < n; ++i)
+        w.push_back(rng.nextDouble() + 0.01);
+    DiscreteDistribution d(w);
+    EXPECT_NEAR(d.mean() + d.mirrored().mean(), n + 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MirrorProperty,
+                         ::testing::Values(1, 2, 3, 8, 24, 100));
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for STP / ANTT / EDP / speedup (Eyerman & Eeckhout metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "metrics/metrics.h"
+
+namespace smtflex {
+namespace {
+
+SimResult
+makeResult(const std::vector<std::pair<InstrCount, Cycle>> &threads)
+{
+    SimResult r;
+    for (const auto &[budget, cycles] : threads) {
+        ThreadResult t;
+        t.budget = budget;
+        t.startCycle = 0;
+        t.finishCycle = cycles;
+        t.finished = true;
+        r.threads.push_back(t);
+    }
+    return r;
+}
+
+TEST(MetricsTest, StpSingleProgramAtIsolatedSpeedIsOne)
+{
+    // 1000 instructions in 500 cycles = IPC 2; isolated IPC 2 -> STP 1.
+    const SimResult r = makeResult({{1000, 500}});
+    EXPECT_NEAR(systemThroughput(r, {2.0}), 1.0, 1e-12);
+    EXPECT_NEAR(avgNormalisedTurnaround(r, {2.0}), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, StpSumsNormalisedProgress)
+{
+    // Two programs, each at half their isolated speed -> STP = 1.0.
+    const SimResult r = makeResult({{1000, 1000}, {1000, 1000}});
+    EXPECT_NEAR(systemThroughput(r, {2.0, 2.0}), 1.0, 1e-12);
+    // ANTT: each program is 2x slower -> 2.0.
+    EXPECT_NEAR(avgNormalisedTurnaround(r, {2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(MetricsTest, NormalisedProgressPerThread)
+{
+    const SimResult r = makeResult({{1000, 500}, {1000, 2000}});
+    const auto np = normalisedProgress(r, {2.0, 2.0});
+    ASSERT_EQ(np.size(), 2u);
+    EXPECT_NEAR(np[0], 1.0, 1e-12);
+    EXPECT_NEAR(np[1], 0.25, 1e-12);
+}
+
+TEST(MetricsTest, AnttIsMeanOfSlowdowns)
+{
+    // Slowdowns 2x and 4x -> ANTT 3.
+    const SimResult r = makeResult({{1000, 1000}, {1000, 2000}});
+    EXPECT_NEAR(avgNormalisedTurnaround(r, {2.0, 2.0}), 3.0, 1e-12);
+}
+
+TEST(MetricsTest, MismatchedBaselinesRejected)
+{
+    const SimResult r = makeResult({{1000, 500}});
+    EXPECT_THROW(systemThroughput(r, {2.0, 2.0}), FatalError);
+    EXPECT_THROW(systemThroughput(r, {}), FatalError);
+    EXPECT_THROW(systemThroughput(r, {0.0}), FatalError);
+}
+
+TEST(MetricsTest, UnfinishedThreadRejected)
+{
+    SimResult r = makeResult({{1000, 500}});
+    r.threads[0].finished = false;
+    EXPECT_THROW(systemThroughput(r, {2.0}), FatalError);
+}
+
+TEST(MetricsTest, WarmupWindowUsedForIpc)
+{
+    SimResult r = makeResult({{1000, 1500}});
+    r.threads[0].startCycle = 1000; // measured window = 500 cycles
+    EXPECT_NEAR(systemThroughput(r, {2.0}), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, EnergyDelayProduct)
+{
+    // EDP ~ P / T^2: doubling throughput at equal power quarters EDP.
+    EXPECT_NEAR(energyDelayProduct(40.0, 2.0) /
+                    energyDelayProduct(40.0, 4.0),
+                4.0, 1e-12);
+    EXPECT_THROW(energyDelayProduct(40.0, 0.0), FatalError);
+}
+
+TEST(MetricsTest, Speedup)
+{
+    EXPECT_DOUBLE_EQ(speedup(1000, 500), 2.0);
+    EXPECT_DOUBLE_EQ(speedup(500, 1000), 0.5);
+    EXPECT_THROW(speedup(100, 0), FatalError);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for CSV writing and simulation reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.h"
+#include "report/csv.h"
+#include "report/sim_report.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+namespace {
+
+TEST(CsvTest, HeaderAndRows)
+{
+    std::ostringstream out;
+    CsvWriter csv(out, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({"x", "y"});
+    EXPECT_EQ(out.str(), "a,b\n1,2\nx,y\n");
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+}
+
+TEST(CsvTest, EscapingPerRfc4180)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, RowBuilderMixedTypes)
+{
+    std::ostringstream out;
+    CsvWriter csv(out, {"s", "d", "u"});
+    csv.beginRow().add(std::string("x")).add(1.5).add(
+        std::uint64_t{42}).done();
+    EXPECT_EQ(out.str(), "s,d,u\nx,1.5,42\n");
+}
+
+TEST(CsvTest, WrongColumnCountRejected)
+{
+    std::ostringstream out;
+    CsvWriter csv(out, {"a", "b"});
+    EXPECT_THROW(csv.row({"only-one"}), FatalError);
+    EXPECT_THROW(CsvWriter(out, {}), FatalError);
+}
+
+SimResult
+sampleResult()
+{
+    ChipConfig cfg = ChipConfig::homogeneous("2B", CoreParams::big(), 2);
+    ChipSim chip(cfg);
+    Placement pl;
+    pl.entries = {{0, 0}, {1, 0}};
+    return chip.runMultiProgram({{&specProfile("hmmer"), 4000, 1000},
+                                 {&specProfile("mcf"), 4000, 1000}},
+                                pl, 42);
+}
+
+TEST(SimReportTest, TextReportContainsKeySections)
+{
+    const SimResult result = sampleResult();
+    std::ostringstream out;
+    writeTextReport(out, result, PowerModel{});
+    const std::string text = out.str();
+    EXPECT_NE(text.find("2B"), std::string::npos);
+    EXPECT_NE(text.find("hmmer"), std::string::npos);
+    EXPECT_NE(text.find("mcf"), std::string::npos);
+    EXPECT_NE(text.find("power"), std::string::npos);
+    EXPECT_NE(text.find("cores (2)"), std::string::npos);
+}
+
+TEST(SimReportTest, ThreadCsvHasOneRowPerThread)
+{
+    const SimResult result = sampleResult();
+    std::ostringstream out;
+    writeThreadCsv(out, result);
+    const std::string text = out.str();
+    // Header + 2 rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    EXPECT_NE(text.find("hmmer"), std::string::npos);
+}
+
+TEST(SimReportTest, CoreCsvHasOneRowPerCore)
+{
+    const SimResult result = sampleResult();
+    std::ostringstream out;
+    writeCoreCsv(out, result, PowerModel{});
+    const std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    EXPECT_NE(text.find("B"), std::string::npos);
+}
+
+} // namespace
+} // namespace smtflex

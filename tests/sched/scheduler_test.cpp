@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the scheduling policies: slot fill order (spread before SMT,
+ * big cores first), offline program-to-core-type assignment, and symbiotic
+ * SMT co-scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/log.h"
+#include "sched/scheduler.h"
+#include "study/design_space.h"
+#include "trace/spec_profiles.h"
+#include "workload/multiprogram.h"
+
+namespace smtflex {
+namespace {
+
+TEST(SlotFillOrderTest, SpreadsAcrossCoresBeforeSmt)
+{
+    const ChipConfig cfg = paperDesign("4B");
+    const auto order = slotFillOrder(cfg);
+    ASSERT_EQ(order.size(), 24u);
+    // First four entries: one per core, slot 0.
+    std::set<std::uint32_t> first_cores;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(order[i].slot, 0u);
+        first_cores.insert(order[i].core);
+    }
+    EXPECT_EQ(first_cores.size(), 4u);
+    // Next four: slot 1.
+    for (int i = 4; i < 8; ++i)
+        EXPECT_EQ(order[i].slot, 1u);
+}
+
+TEST(SlotFillOrderTest, BigCoresFirstInHeterogeneousChips)
+{
+    const ChipConfig cfg = paperDesign("3B5s");
+    const auto order = slotFillOrder(cfg);
+    ASSERT_EQ(order.size(), 3u * 6 + 5u * 2);
+    // First three entries are big cores (indices 0-2 in the config).
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(cfg.cores[order[i].core].type, CoreType::kBig) << i;
+    // Entries 3..7 are the small cores' first contexts.
+    for (int i = 3; i < 8; ++i) {
+        EXPECT_EQ(cfg.cores[order[i].core].type, CoreType::kSmall) << i;
+        EXPECT_EQ(order[i].slot, 0u);
+    }
+    // Entry 8 starts the SMT round on the big cores.
+    EXPECT_EQ(cfg.cores[order[8].core].type, CoreType::kBig);
+    EXPECT_EQ(order[8].slot, 1u);
+}
+
+TEST(SlotFillOrderTest, SmtOffHasOneRound)
+{
+    const ChipConfig cfg = paperDesign("1B6m").withSmt(false);
+    const auto order = slotFillOrder(cfg);
+    ASSERT_EQ(order.size(), 7u);
+    for (const auto &entry : order)
+        EXPECT_EQ(entry.slot, 0u);
+}
+
+TEST(ScheduleNaiveTest, WrapsIntoTimeSharing)
+{
+    const ChipConfig cfg = paperDesign("4B").withSmt(false); // 4 contexts
+    const Placement pl = scheduleNaive(cfg, 6);
+    ASSERT_EQ(pl.entries.size(), 6u);
+    // Threads 4 and 5 wrap onto the first two cores.
+    EXPECT_EQ(pl.entries[4].core, pl.entries[0].core);
+    EXPECT_EQ(pl.entries[5].core, pl.entries[1].core);
+}
+
+TEST(OfflineProfileTest, StoreAndAffinity)
+{
+    OfflineProfile p;
+    EXPECT_TRUE(p.empty());
+    p.set("x", CoreType::kBig, 2.0);
+    p.set("x", CoreType::kSmall, 0.5);
+    EXPECT_TRUE(p.has("x", CoreType::kBig));
+    EXPECT_FALSE(p.has("x", CoreType::kMedium));
+    EXPECT_DOUBLE_EQ(p.bigAffinity("x"), 4.0);
+    EXPECT_THROW(p.ipc("y", CoreType::kBig), FatalError);
+    EXPECT_THROW(p.set("x", CoreType::kBig, -1.0), FatalError);
+}
+
+OfflineProfile
+syntheticOffline()
+{
+    // Affinities: hmmer high, libquantum low (memory-bound gains little
+    // from a big core).
+    OfflineProfile p;
+    p.set("hmmer", CoreType::kBig, 3.4);
+    p.set("hmmer", CoreType::kMedium, 1.5);
+    p.set("hmmer", CoreType::kSmall, 0.5);
+    p.set("libquantum", CoreType::kBig, 0.8);
+    p.set("libquantum", CoreType::kMedium, 0.33);
+    p.set("libquantum", CoreType::kSmall, 0.24);
+    return p;
+}
+
+TEST(ScheduleOfflineTest, HighAffinityProgramsGetBigCores)
+{
+    const ChipConfig cfg = paperDesign("3B5s").withSmt(false); // 8 slots
+    std::vector<ThreadSpec> specs;
+    // 3 hmmer (high big-affinity), 5 libquantum.
+    for (int i = 0; i < 3; ++i)
+        specs.push_back({&specProfile("hmmer"), 1000});
+    for (int i = 0; i < 5; ++i)
+        specs.push_back({&specProfile("libquantum"), 1000});
+    const Placement pl = scheduleOffline(cfg, specs, syntheticOffline());
+    ASSERT_EQ(pl.entries.size(), 8u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(cfg.cores[pl.entries[i].core].type, CoreType::kBig)
+            << "hmmer thread " << i << " should be on a big core";
+    }
+    for (int i = 3; i < 8; ++i) {
+        EXPECT_EQ(cfg.cores[pl.entries[i].core].type, CoreType::kSmall)
+            << "libquantum thread " << i << " should be on a small core";
+    }
+}
+
+TEST(ScheduleOfflineTest, PlacementIsValidAndConflictFree)
+{
+    // Any thread count on any design must produce in-range, non-colliding
+    // placements (as long as threads <= contexts).
+    for (const auto &name : paperDesignNames()) {
+        const ChipConfig cfg = paperDesign(name);
+        for (std::size_t n : {1u, 2u, 7u, 16u, 24u}) {
+            if (n > cfg.totalContexts())
+                continue;
+            auto mixes = heterogeneousWorkloads(n, 12, 7);
+            const auto specs = mixes[0].specs(1000);
+            const Placement pl = scheduleOffline(cfg, specs,
+                                                 OfflineProfile{});
+            ASSERT_EQ(pl.entries.size(), n);
+            std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+            for (const auto &e : pl.entries) {
+                ASSERT_LT(e.core, cfg.numCores());
+                ASSERT_LT(e.slot, cfg.contextsOf(e.core));
+                EXPECT_TRUE(used.insert({e.core, e.slot}).second)
+                    << "slot collision on " << name << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(ScheduleOfflineTest, SymbioticMixingOnSmtCores)
+{
+    // 8 threads on 4B (2 per core): 4 memory-intensive + 4 compute-bound
+    // programs must not be segregated; every core should get at most one
+    // heavy memory program.
+    const ChipConfig cfg = paperDesign("4B");
+    std::vector<ThreadSpec> specs;
+    for (int i = 0; i < 4; ++i)
+        specs.push_back({&specProfile("libquantum"), 1000});
+    for (int i = 0; i < 4; ++i)
+        specs.push_back({&specProfile("hmmer"), 1000});
+    const Placement pl = scheduleOffline(cfg, specs, OfflineProfile{});
+    std::map<std::uint32_t, int> heavy_per_core;
+    for (int i = 0; i < 4; ++i)
+        ++heavy_per_core[pl.entries[i].core];
+    for (const auto &[core, count] : heavy_per_core)
+        EXPECT_LE(count, 1) << "memory-bound programs piled on core "
+                            << core;
+}
+
+TEST(ScheduleOfflineTest, EmptyWorkloadRejected)
+{
+    const ChipConfig cfg = paperDesign("4B");
+    EXPECT_THROW(scheduleOffline(cfg, {}, OfflineProfile{}), FatalError);
+    EXPECT_THROW(scheduleNaive(cfg, 0), FatalError);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for power/energy summarisation of simulation results, including
+ * power gating of idle cores (paper Section 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/chip_sim.h"
+#include "sim/power_summary.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+namespace {
+
+SimResult
+runOn4B(std::uint32_t threads)
+{
+    ChipConfig cfg = ChipConfig::homogeneous("4B", CoreParams::big(), 4);
+    ChipSim chip(cfg);
+    Placement pl;
+    std::vector<ThreadSpec> specs;
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        pl.entries.push_back({i % 4, i / 4});
+        specs.push_back({&specProfile("hmmer"), 8000, 2000});
+    }
+    return chip.runMultiProgram(specs, pl, 42);
+}
+
+TEST(PowerSummaryTest, GatingSavesPowerAtLowThreadCounts)
+{
+    const SimResult r = runOn4B(1);
+    PowerModel model;
+    const PowerSummary gated = summarisePower(r, model, true);
+    const PowerSummary ungated = summarisePower(r, model, false);
+    // Three of four cores are idle the whole run: gating saves their
+    // static power.
+    EXPECT_LT(gated.avgPowerW, ungated.avgPowerW - 2.0);
+    EXPECT_DOUBLE_EQ(gated.coreDynamicW, ungated.coreDynamicW);
+    EXPECT_DOUBLE_EQ(gated.uncoreW, ungated.uncoreW);
+}
+
+TEST(PowerSummaryTest, NoGatingOpportunityAtFullOccupancy)
+{
+    const SimResult r = runOn4B(4);
+    PowerModel model;
+    const PowerSummary gated = summarisePower(r, model, true);
+    const PowerSummary ungated = summarisePower(r, model, false);
+    EXPECT_NEAR(gated.avgPowerW, ungated.avgPowerW, 1e-9);
+}
+
+TEST(PowerSummaryTest, MoreThreadsMorePower)
+{
+    PowerModel model;
+    const double p1 = summarisePower(runOn4B(1), model, true).avgPowerW;
+    const double p4 = summarisePower(runOn4B(4), model, true).avgPowerW;
+    const double p8 = summarisePower(runOn4B(8), model, true).avgPowerW;
+    EXPECT_GT(p4, p1 + 3.0);
+    // Activating SMT contexts raises power, but far less than waking cores
+    // (paper Fig. 14).
+    EXPECT_GT(p8, p4);
+    EXPECT_LT(p8 - p4, p4 - p1);
+}
+
+TEST(PowerSummaryTest, EnergyEqualsPowerTimesTime)
+{
+    const SimResult r = runOn4B(2);
+    PowerModel model;
+    const PowerSummary s = summarisePower(r, model, true);
+    EXPECT_NEAR(s.energyJ, s.avgPowerW * r.seconds(), 1e-9);
+    EXPECT_NEAR(s.avgPowerW,
+                s.coreStaticW + s.coreDynamicW + s.uncoreW, 1e-9);
+}
+
+TEST(PowerSummaryTest, UncoreAlwaysOn)
+{
+    const SimResult r = runOn4B(1);
+    PowerModel model;
+    const PowerSummary s = summarisePower(r, model, true);
+    EXPECT_GE(s.uncoreW, model.uncoreStaticW() - 1e-9);
+}
+
+TEST(PowerSummaryTest, EmptyResultYieldsZero)
+{
+    SimResult r;
+    PowerModel model;
+    const PowerSummary s = summarisePower(r, model, true);
+    EXPECT_DOUBLE_EQ(s.avgPowerW, 0.0);
+    EXPECT_DOUBLE_EQ(s.energyJ, 0.0);
+}
+
+} // namespace
+} // namespace smtflex

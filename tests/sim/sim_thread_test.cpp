@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for SimThread: warmup window, finish detection, restart semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_thread.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+namespace {
+
+TEST(SimThreadTest, FinishAfterBudget)
+{
+    SimThread t(specProfile("hmmer"), 1, 0, 100, false, 0);
+    EXPECT_FALSE(t.finished());
+    for (Cycle c = 1; c <= 99; ++c) {
+        t.onRetire(c);
+        EXPECT_FALSE(t.finished());
+    }
+    t.onRetire(100);
+    EXPECT_TRUE(t.finished());
+    EXPECT_EQ(t.finishCycle(), 100u);
+    EXPECT_EQ(t.startCycle(), 0u);
+    EXPECT_FALSE(t.hasWork()) << "non-restarting thread stops";
+}
+
+TEST(SimThreadTest, WarmupExcludedFromWindow)
+{
+    SimThread t(specProfile("hmmer"), 1, 0, 100, true, 50);
+    for (Cycle c = 1; c <= 50; ++c)
+        t.onRetire(c * 2);
+    EXPECT_EQ(t.startCycle(), 100u); // cycle of the 50th retire
+    EXPECT_FALSE(t.finished());
+    for (Cycle c = 51; c <= 150; ++c)
+        t.onRetire(c * 2);
+    EXPECT_TRUE(t.finished());
+    EXPECT_EQ(t.finishCycle(), 300u);
+}
+
+TEST(SimThreadTest, RestartKeepsWorking)
+{
+    SimThread t(specProfile("hmmer"), 1, 0, 10, true, 0);
+    for (Cycle c = 1; c <= 10; ++c)
+        t.onRetire(c);
+    EXPECT_TRUE(t.finished());
+    EXPECT_TRUE(t.hasWork()) << "restarting thread keeps contending";
+    // Finish cycle does not move on further retires.
+    t.onRetire(99);
+    EXPECT_EQ(t.finishCycle(), 10u);
+    EXPECT_EQ(t.retired(), 11u);
+}
+
+TEST(SimThreadTest, OpsComeFromProfileStream)
+{
+    SimThread t(specProfile("libquantum"), 7, 3, 1000, true, 0);
+    int mem = 0;
+    for (int i = 0; i < 1000; ++i)
+        mem += t.nextOp().isMem();
+    // libquantum: ~32% memory operations.
+    EXPECT_NEAR(mem / 1000.0, 0.32, 0.06);
+    EXPECT_EQ(t.benchmark(), "libquantum");
+}
+
+} // namespace
+} // namespace smtflex

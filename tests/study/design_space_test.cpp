@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the nine power-equivalent designs (paper Fig. 2) and the
+ * Section 8.1 variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "power/power_model.h"
+#include "study/design_space.h"
+
+namespace smtflex {
+namespace {
+
+TEST(DesignSpaceTest, NineDesigns)
+{
+    EXPECT_EQ(paperDesignNames().size(), 9u);
+    EXPECT_EQ(paperDesigns().size(), 9u);
+}
+
+TEST(DesignSpaceTest, CoreMixesMatchFigure2)
+{
+    struct Expect
+    {
+        const char *name;
+        int big, medium, small;
+    };
+    const Expect expected[] = {
+        {"4B", 4, 0, 0},    {"8m", 0, 8, 0},    {"20s", 0, 0, 20},
+        {"3B2m", 3, 2, 0},  {"3B5s", 3, 0, 5},  {"2B4m", 2, 4, 0},
+        {"2B10s", 2, 0, 10}, {"1B6m", 1, 6, 0}, {"1B15s", 1, 0, 15},
+    };
+    for (const auto &e : expected) {
+        const ChipConfig cfg = paperDesign(e.name);
+        int big = 0, medium = 0, small = 0;
+        for (const auto &core : cfg.cores) {
+            big += core.type == CoreType::kBig;
+            medium += core.type == CoreType::kMedium;
+            small += core.type == CoreType::kSmall;
+        }
+        EXPECT_EQ(big, e.big) << e.name;
+        EXPECT_EQ(medium, e.medium) << e.name;
+        EXPECT_EQ(small, e.small) << e.name;
+    }
+}
+
+TEST(DesignSpaceTest, AllDesignsSupport24Threads)
+{
+    // With SMT every configuration runs at least 24 concurrent threads
+    // (paper Section 3.1).
+    for (const auto &name : paperDesignNames())
+        EXPECT_GE(paperDesign(name).totalContexts(), 24u) << name;
+}
+
+TEST(DesignSpaceTest, PowerBudgetsApproximatelyEqual)
+{
+    // Full-load chip power across the nine designs stays within a modest
+    // band (the paper reports 46-50 W).
+    PowerModel model;
+    double lo = 1e9, hi = 0.0;
+    for (const auto &cfg : paperDesigns()) {
+        double total = model.uncoreStaticW();
+        for (const auto &core : cfg.cores)
+            total += model.coreFullLoadW(core);
+        lo = std::min(lo, total);
+        hi = std::max(hi, total);
+    }
+    EXPECT_GT(lo, 38.0);
+    EXPECT_LT(hi, 56.0);
+    EXPECT_LT(hi / lo, 1.25) << "designs must be power-comparable";
+}
+
+TEST(DesignSpaceTest, UnknownNameRejected)
+{
+    EXPECT_THROW(paperDesign("5B"), FatalError);
+    EXPECT_THROW(alternativeDesign("7m_lc"), FatalError);
+}
+
+TEST(DesignSpaceTest, AlternativeDesigns)
+{
+    EXPECT_EQ(alternativeDesignNames().size(), 4u);
+
+    const ChipConfig lc = alternativeDesign("6m_lc");
+    EXPECT_EQ(lc.numCores(), 6u);
+    EXPECT_EQ(lc.cores[0].l1d.sizeBytes, CoreParams::big().l1d.sizeBytes);
+    EXPECT_EQ(lc.cores[0].l2.sizeBytes, CoreParams::big().l2.sizeBytes);
+
+    const ChipConfig slc = alternativeDesign("16s_lc");
+    EXPECT_EQ(slc.numCores(), 16u);
+    EXPECT_FALSE(slc.cores[0].outOfOrder);
+
+    const ChipConfig hf = alternativeDesign("6m_hf");
+    EXPECT_EQ(hf.numCores(), 6u);
+    EXPECT_NEAR(hf.cores[0].freqGHz, 3.33, 1e-9);
+    // Caches unchanged for hf.
+    EXPECT_EQ(hf.cores[0].l2.sizeBytes, CoreParams::medium().l2.sizeBytes);
+
+    const ChipConfig shf = alternativeDesign("16s_hf");
+    EXPECT_EQ(shf.numCores(), 16u);
+    EXPECT_NEAR(shf.cores[0].freqGHz, 3.33, 1e-9);
+}
+
+} // namespace
+} // namespace smtflex

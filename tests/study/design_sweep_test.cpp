@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Parameterised integration sweep: every design of the paper's space must
+ * run a small mixed workload end to end, with sane results, under both SMT
+ * settings. Catches wiring bugs anywhere in the stack for any core mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/chip_sim.h"
+#include "study/design_space.h"
+#include "trace/spec_profiles.h"
+#include "workload/multiprogram.h"
+
+namespace smtflex {
+namespace {
+
+class DesignSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{
+};
+
+TEST_P(DesignSweep, RunsMixedWorkloadSanely)
+{
+    const auto &[name, smt] = GetParam();
+    const ChipConfig cfg = paperDesign(name).withSmt(smt);
+
+    // A 6-program mix covering compute, branchy and memory-bound codes.
+    MultiProgramWorkload workload;
+    workload.name = "sweep";
+    for (const char *b :
+         {"hmmer", "gobmk", "libquantum", "tonto", "mcf", "soplex"})
+        workload.programs.push_back(&specProfile(b));
+    const auto specs = workload.specs(6'000, 2'000);
+
+    const Placement placement =
+        scheduleOffline(cfg, specs, OfflineProfile{});
+    ChipSim chip(cfg);
+    const SimResult result = chip.runMultiProgram(specs, placement, 7);
+
+    EXPECT_FALSE(result.hitCycleLimit);
+    ASSERT_EQ(result.threads.size(), 6u);
+    for (const auto &t : result.threads) {
+        EXPECT_TRUE(t.finished) << t.benchmark;
+        EXPECT_GT(t.ipc(), 0.005) << t.benchmark;
+        EXPECT_LT(t.ipc(), 4.5) << t.benchmark;
+    }
+    // Conservation: every core's retired ops are bounded by dispatched.
+    for (const auto &core : result.cores)
+        EXPECT_LE(core.stats.retired, core.stats.totalDispatched());
+    // The chip did real work.
+    EXPECT_GT(result.aggregateIpc(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DesignSweep,
+    ::testing::Combine(::testing::ValuesIn(paperDesignNames()),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, bool>> &info) {
+        return std::get<0>(info.param) +
+            (std::get<1>(info.param) ? "_smt" : "_nosmt");
+    });
+
+/** The Section 8.1 variants also run end to end. */
+class AltDesignSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AltDesignSweep, RunsWorkloadSanely)
+{
+    const ChipConfig cfg = alternativeDesign(GetParam());
+    const auto workload = homogeneousWorkload("milc", 4);
+    const auto specs = workload.specs(6'000, 2'000);
+    const Placement placement =
+        scheduleOffline(cfg, specs, OfflineProfile{});
+    ChipSim chip(cfg);
+    const SimResult result = chip.runMultiProgram(specs, placement, 7);
+    for (const auto &t : result.threads) {
+        EXPECT_TRUE(t.finished);
+        EXPECT_GT(t.ipc(), 0.01);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AltDesignSweep,
+                         ::testing::ValuesIn(alternativeDesignNames()));
+
+} // namespace
+} // namespace smtflex

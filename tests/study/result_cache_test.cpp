@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the disk-backed result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/log.h"
+#include "study/result_cache.h"
+
+namespace smtflex {
+namespace {
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "smtflex_cache_test.txt";
+        std::remove(path_.c_str());
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+TEST_F(ResultCacheTest, StoreAndFind)
+{
+    ResultCache cache(path_);
+    EXPECT_EQ(cache.find("k1"), nullptr);
+    cache.store("k1", {1.0, 2.5, -3.0});
+    const auto *hit = cache.find("k1");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, (std::vector<double>{1.0, 2.5, -3.0}));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(ResultCacheTest, PersistsAcrossInstances)
+{
+    {
+        ResultCache cache(path_);
+        cache.store("a", {1.0});
+        cache.store("b", {2.0, 3.0});
+    }
+    ResultCache reloaded(path_);
+    EXPECT_EQ(reloaded.size(), 2u);
+    ASSERT_NE(reloaded.find("a"), nullptr);
+    EXPECT_DOUBLE_EQ(reloaded.find("a")->at(0), 1.0);
+    ASSERT_NE(reloaded.find("b"), nullptr);
+    EXPECT_DOUBLE_EQ(reloaded.find("b")->at(1), 3.0);
+}
+
+TEST_F(ResultCacheTest, OverwriteTakesLatestValue)
+{
+    {
+        ResultCache cache(path_);
+        cache.store("k", {1.0});
+        cache.store("k", {9.0});
+        EXPECT_DOUBLE_EQ(cache.find("k")->at(0), 9.0);
+    }
+    // The append-only file replays in order; the last record wins.
+    ResultCache reloaded(path_);
+    EXPECT_DOUBLE_EQ(reloaded.find("k")->at(0), 9.0);
+}
+
+TEST_F(ResultCacheTest, FullPrecisionRoundTrip)
+{
+    const double value = 0.12345678901234567;
+    {
+        ResultCache cache(path_);
+        cache.store("pi", {value});
+    }
+    ResultCache reloaded(path_);
+    EXPECT_DOUBLE_EQ(reloaded.find("pi")->at(0), value);
+}
+
+TEST_F(ResultCacheTest, ToleratesCorruptLines)
+{
+    {
+        std::ofstream out(path_);
+        out << "good|1 2 3\n";
+        out << "garbage without separator\n";
+        out << "|empty key\n";
+        out << "tail|4 5\n";
+    }
+    ResultCache cache(path_);
+    EXPECT_EQ(cache.size(), 2u);
+    ASSERT_NE(cache.find("good"), nullptr);
+    ASSERT_NE(cache.find("tail"), nullptr);
+}
+
+TEST_F(ResultCacheTest, InMemoryOnlyWithEmptyPath)
+{
+    ResultCache cache("");
+    cache.store("x", {1.0});
+    EXPECT_NE(cache.find("x"), nullptr);
+    EXPECT_TRUE(cache.path().empty());
+}
+
+TEST_F(ResultCacheTest, InvalidKeysRejected)
+{
+    ResultCache cache(path_);
+    EXPECT_THROW(cache.store("", {1.0}), FatalError);
+    EXPECT_THROW(cache.store("a|b", {1.0}), FatalError);
+    EXPECT_THROW(cache.store("a\nb", {1.0}), FatalError);
+}
+
+TEST_F(ResultCacheTest, EmptyValueVector)
+{
+    {
+        ResultCache cache(path_);
+        cache.store("empty", {});
+    }
+    ResultCache reloaded(path_);
+    ASSERT_NE(reloaded.find("empty"), nullptr);
+    EXPECT_TRUE(reloaded.find("empty")->empty());
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the benchmark-selection methodology (paper Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+#include "study/selection.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+namespace {
+
+StudyOptions
+fastOptions()
+{
+    StudyOptions opts;
+    opts.budget = 4'000;
+    opts.warmup = 1'000;
+    opts.cachePath.clear();
+    return opts;
+}
+
+TEST(SelectionTest, CharacterisationCoversAllBenchmarks)
+{
+    StudyEngine eng(fastOptions());
+    const std::vector<std::string> names = {"hmmer", "mcf", "libquantum"};
+    const auto table = characteriseBenchmarks(eng, names);
+    ASSERT_EQ(table.size(), 3u);
+    for (const auto &row : table) {
+        EXPECT_GT(row.ipcBig, row.ipcMedium) << row.name;
+        EXPECT_GT(row.ipcMedium, row.ipcSmall) << row.name;
+        EXPECT_GT(row.smallOverBig(), 0.0);
+        EXPECT_LT(row.smallOverBig(), 1.0);
+    }
+}
+
+TEST(SelectionTest, KeepsExtremesAndIsSorted)
+{
+    StudyEngine eng(fastOptions());
+    const auto &all = specBenchmarkNames(); // 12 candidates
+    const auto picked = selectRepresentativeBenchmarks(eng, all, 5);
+    ASSERT_EQ(picked.size(), 5u);
+    // No duplicates.
+    EXPECT_EQ(std::set<std::string>(picked.begin(), picked.end()).size(),
+              5u);
+
+    // The global extremes of the small/big ratio must be included.
+    auto table = characteriseBenchmarks(eng, all);
+    std::sort(table.begin(), table.end(),
+              [](const auto &a, const auto &b) {
+                  return a.smallOverBig() < b.smallOverBig();
+              });
+    EXPECT_EQ(picked.front(), table.front().name);
+    EXPECT_EQ(picked.back(), table.back().name);
+}
+
+TEST(SelectionTest, SelectingAllReturnsAll)
+{
+    StudyEngine eng(fastOptions());
+    const std::vector<std::string> names = {"hmmer", "mcf", "tonto"};
+    const auto picked = selectRepresentativeBenchmarks(eng, names, 3);
+    EXPECT_EQ(std::set<std::string>(picked.begin(), picked.end()).size(),
+              3u);
+}
+
+TEST(SelectionTest, TooFewCandidatesRejected)
+{
+    StudyEngine eng(fastOptions());
+    EXPECT_THROW(
+        selectRepresentativeBenchmarks(eng, {"hmmer"}, 2), FatalError);
+    EXPECT_THROW(selectRepresentativeBenchmarks(eng, {}, 0), FatalError);
+}
+
+TEST(SelectionTest, ExtendedRegistryAvailable)
+{
+    // The full modelled suite is larger than the selected set and includes
+    // all selected benchmarks.
+    const auto &all = specAllBenchmarkNames();
+    EXPECT_GE(all.size(), 26u);
+    for (const auto &name : specBenchmarkNames()) {
+        EXPECT_NE(std::find(all.begin(), all.end(), name), all.end())
+            << name;
+    }
+    for (const auto *p : specAllProfiles())
+        EXPECT_NO_THROW(p->validate());
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Integration tests of the StudyEngine: caching, offline analysis, and the
+ * qualitative shape of the paper's findings at reduced instruction budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/log.h"
+#include "study/design_space.h"
+#include "study/study_engine.h"
+#include "trace/spec_profiles.h"
+#include "workload/distributions.h"
+
+namespace smtflex {
+namespace {
+
+StudyOptions
+fastOptions()
+{
+    StudyOptions opts;
+    opts.budget = 6'000;
+    opts.warmup = 2'000;
+    opts.seed = 12'345;
+    opts.cachePath.clear(); // in-memory
+    opts.hetMixes = 12;
+    return opts;
+}
+
+TEST(StudyEngineTest, IsolatedIpcOrderingAcrossCoreTypes)
+{
+    StudyEngine eng(fastOptions());
+    for (const char *bench : {"hmmer", "mcf", "tonto"}) {
+        const double big = eng.isolatedIpc(bench, CoreType::kBig);
+        const double medium = eng.isolatedIpc(bench, CoreType::kMedium);
+        const double small = eng.isolatedIpc(bench, CoreType::kSmall);
+        EXPECT_GT(big, medium) << bench;
+        EXPECT_GT(medium, small) << bench;
+    }
+}
+
+TEST(StudyEngineTest, OfflineTableComplete)
+{
+    StudyEngine eng(fastOptions());
+    const OfflineProfile &offline = eng.offline();
+    for (const auto &bench : specBenchmarkNames()) {
+        EXPECT_TRUE(offline.has(bench, CoreType::kBig)) << bench;
+        EXPECT_TRUE(offline.has(bench, CoreType::kMedium)) << bench;
+        EXPECT_TRUE(offline.has(bench, CoreType::kSmall)) << bench;
+        EXPECT_GT(offline.bigAffinity(bench), 1.0) << bench;
+    }
+}
+
+TEST(StudyEngineTest, DiskCacheMakesRepeatRunsFree)
+{
+    const std::string path =
+        ::testing::TempDir() + "smtflex_engine_cache.txt";
+    std::remove(path.c_str());
+    StudyOptions opts = fastOptions();
+    opts.cachePath = path;
+
+    double first_stp;
+    {
+        StudyEngine eng(opts);
+        first_stp =
+            eng.multiprogram(paperDesign("4B"), homogeneousWorkload("tonto", 2))
+                .stp;
+    }
+    StudyEngine eng2(opts);
+    const auto again =
+        eng2.multiprogram(paperDesign("4B"), homogeneousWorkload("tonto", 2));
+    EXPECT_DOUBLE_EQ(again.stp, first_stp);
+    std::remove(path.c_str());
+}
+
+TEST(StudyEngineTest, SingleThreadStpIsOneOnBigCore)
+{
+    // STP normalises against isolated big-core execution, so one thread on
+    // the 4B design scores exactly 1.
+    StudyEngine eng(fastOptions());
+    const auto m = eng.homogeneousAt(paperDesign("4B"), 1);
+    EXPECT_NEAR(m.stp, 1.0, 0.05);
+    EXPECT_NEAR(m.antt, 1.0, 0.05);
+}
+
+TEST(StudyEngineTest, Finding1LowThreadCounts4BWins)
+{
+    // Few active threads: all-big-cores beats every small-core design
+    // (paper Finding #1 / Fig. 3).
+    StudyEngine eng(fastOptions());
+    const double stp_4b = eng.homogeneousAt(paperDesign("4B"), 2).stp;
+    for (const char *other : {"20s", "8m", "1B15s", "1B6m"}) {
+        EXPECT_GT(stp_4b, eng.homogeneousAt(paperDesign(other), 2).stp)
+            << other;
+    }
+}
+
+TEST(StudyEngineTest, Finding1HighThreadCountsManyCoresWinButClose)
+{
+    // 24 active threads: 20s outperforms 4B, but 4B stays within reach
+    // (shared-resource contention flattens the gap).
+    StudyEngine eng(fastOptions());
+    const double stp_4b = eng.homogeneousAt(paperDesign("4B"), 24).stp;
+    const double stp_20s = eng.homogeneousAt(paperDesign("20s"), 24).stp;
+    EXPECT_GT(stp_20s, stp_4b);
+    EXPECT_GT(stp_4b, 0.4 * stp_20s);
+}
+
+TEST(StudyEngineTest, SmtRaisesThroughputBeyondCoreCount)
+{
+    // 12 threads on 4B: with SMT they run concurrently; without SMT they
+    // time-share 4 contexts. SMT must win clearly (Finding #3 mechanism).
+    StudyEngine eng(fastOptions());
+    const ChipConfig smt = paperDesign("4B");
+    const ChipConfig no_smt = smt.withSmt(false);
+    const double with_smt = eng.homogeneousAt(smt, 12).stp;
+    const double without = eng.homogeneousAt(no_smt, 12).stp;
+    EXPECT_GT(with_smt, 1.2 * without);
+}
+
+TEST(StudyEngineTest, AnttGrowsWithThreadCount)
+{
+    StudyEngine eng(fastOptions());
+    const auto at2 = eng.homogeneousAt(paperDesign("4B"), 2);
+    const auto at8 = eng.homogeneousAt(paperDesign("4B"), 8);
+    EXPECT_GT(at8.antt, at2.antt);
+}
+
+TEST(StudyEngineTest, PowerGatingSavesAtLowCounts)
+{
+    StudyEngine eng(fastOptions());
+    const auto m = eng.homogeneousAt(paperDesign("20s"), 2);
+    EXPECT_LT(m.powerGatedW, m.powerUngatedW - 2.0);
+    const auto full = eng.homogeneousAt(paperDesign("20s"), 24);
+    EXPECT_GT(full.powerGatedW, m.powerGatedW);
+}
+
+TEST(StudyEngineTest, DistributionStpIsWeightedHarmonicMean)
+{
+    StudyEngine eng(fastOptions());
+    const ChipConfig cfg = paperDesign("4B");
+    const double at1 = eng.homogeneousAt(cfg, 1).stp;
+    const double at2 = eng.homogeneousAt(cfg, 2).stp;
+    const DiscreteDistribution dist({1.0, 1.0});
+    const double agg = eng.distributionStp(cfg, dist, false);
+    const double expected = 2.0 / (1.0 / at1 + 1.0 / at2);
+    EXPECT_NEAR(agg, expected, 1e-9);
+    EXPECT_GE(agg, std::min(at1, at2));
+    EXPECT_LE(agg, std::max(at1, at2));
+}
+
+TEST(StudyEngineTest, HeterogeneousAtUsesBalancedMixes)
+{
+    StudyEngine eng(fastOptions());
+    const auto m = eng.heterogeneousAt(paperDesign("4B"), 3);
+    EXPECT_GT(m.stp, 0.0);
+    EXPECT_GE(m.antt, 1.0);
+}
+
+TEST(StudyEngineTest, ParsecRunCachedAndDeterministic)
+{
+    StudyEngine eng(fastOptions());
+    const auto a = eng.parsec(paperDesign("4B"), "blackscholes", 4);
+    const auto b = eng.parsec(paperDesign("4B"), "blackscholes", 4);
+    EXPECT_TRUE(a.completed);
+    EXPECT_DOUBLE_EQ(a.roiCycles, b.roiCycles);
+    EXPECT_GT(a.totalCycles, a.roiCycles);
+    EXPECT_GT(a.powerGatedW, 0.0);
+}
+
+TEST(StudyEngineTest, ParsecThreadCandidates)
+{
+    StudyEngine eng(fastOptions());
+    // Without SMT: exactly the core count.
+    const auto no_smt =
+        eng.parsecThreadCandidates(paperDesign("8m").withSmt(false));
+    ASSERT_EQ(no_smt.size(), 1u);
+    EXPECT_EQ(no_smt[0], 8u);
+    // With SMT on 4B: multiples of 4 up to 24, plus the core count.
+    const auto smt = eng.parsecThreadCandidates(paperDesign("4B"));
+    EXPECT_EQ(smt.front(), 4u);
+    EXPECT_NE(std::find(smt.begin(), smt.end(), 24u), smt.end());
+}
+
+TEST(StudyEngineTest, ConfiguredAppliesBandwidth)
+{
+    StudyOptions opts = fastOptions();
+    opts.bandwidthGBps = 16.0;
+    StudyEngine eng(opts);
+    EXPECT_DOUBLE_EQ(eng.configured(paperDesign("4B")).dram.busBandwidthGBps,
+                     16.0);
+}
+
+TEST(StudyOptionsTest, EnvOverrides)
+{
+    setenv("SMTFLEX_BUDGET", "1234", 1);
+    setenv("SMTFLEX_WARMUP", "77", 1);
+    setenv("SMTFLEX_MIXES", "6", 1);
+    setenv("SMTFLEX_SEED", "9", 1);
+    setenv("SMTFLEX_CACHE", "/tmp/somewhere.txt", 1);
+    const StudyOptions opts = StudyOptions::fromEnv();
+    EXPECT_EQ(opts.budget, 1234u);
+    EXPECT_EQ(opts.warmup, 77u);
+    EXPECT_EQ(opts.hetMixes, 6u);
+    EXPECT_EQ(opts.seed, 9u);
+    EXPECT_EQ(opts.cachePath, "/tmp/somewhere.txt");
+    unsetenv("SMTFLEX_BUDGET");
+    unsetenv("SMTFLEX_WARMUP");
+    unsetenv("SMTFLEX_MIXES");
+    unsetenv("SMTFLEX_SEED");
+    unsetenv("SMTFLEX_CACHE");
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for BenchmarkProfile validation and helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "trace/profile.h"
+
+namespace smtflex {
+namespace {
+
+BenchmarkProfile
+validProfile()
+{
+    BenchmarkProfile p;
+    p.name = "test";
+    p.mix = {.load = 0.3, .store = 0.1, .intAlu = 0.4, .intMul = 0.02,
+             .fp = 0.08, .branch = 0.1};
+    p.regions = {{64 * 1024, 0.7, false}, {8 * 1024 * 1024, 0.3, true}};
+    return p;
+}
+
+TEST(ProfileTest, ValidProfilePasses)
+{
+    EXPECT_NO_THROW(validProfile().validate());
+}
+
+TEST(ProfileTest, EmptyNameRejected)
+{
+    auto p = validProfile();
+    p.name.clear();
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProfileTest, MixMustSumToOne)
+{
+    auto p = validProfile();
+    p.mix.load = 0.5; // breaks the sum
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProfileTest, RegionProbabilitiesMustSumToOne)
+{
+    auto p = validProfile();
+    p.regions[0].probability = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProfileTest, MemOpsRequireRegions)
+{
+    auto p = validProfile();
+    p.regions.clear();
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProfileTest, NoMemOpsAllowsNoRegions)
+{
+    auto p = validProfile();
+    p.mix = {.load = 0.0, .store = 0.0, .intAlu = 0.8, .intMul = 0.0,
+             .fp = 0.1, .branch = 0.1};
+    p.regions.clear();
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ProfileTest, DepDistLowerBound)
+{
+    auto p = validProfile();
+    p.meanDepDist = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProfileTest, TinyRegionRejected)
+{
+    auto p = validProfile();
+    p.regions[0].bytes = 32; // below one line
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProfileTest, MemFootprintBeyond)
+{
+    const auto p = validProfile();
+    // Both regions larger than 4 KiB.
+    EXPECT_DOUBLE_EQ(p.memFootprintBeyond(4 * 1024), 1.0);
+    // Only the 8 MiB streaming region exceeds 64 KiB.
+    EXPECT_DOUBLE_EQ(p.memFootprintBeyond(64 * 1024), 0.3);
+    // Nothing exceeds 16 MiB.
+    EXPECT_DOUBLE_EQ(p.memFootprintBeyond(16 * 1024 * 1024), 0.0);
+}
+
+} // namespace
+} // namespace smtflex

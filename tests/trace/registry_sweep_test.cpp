@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parameterised sweep over the full extended benchmark registry: every
+ * profile must generate sane streams and show the canonical core-type
+ * performance ordering (big >= medium >= small) in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/chip_sim.h"
+#include "trace/spec_profiles.h"
+#include "trace/tracegen.h"
+
+namespace smtflex {
+namespace {
+
+class RegistrySweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RegistrySweep, StreamStatisticsMatchProfile)
+{
+    const BenchmarkProfile &p = specProfile(GetParam());
+    TraceGenerator gen(p, 5, 0, AddressSpace::forThread(0));
+    int mem = 0, branches = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) {
+        const MicroOp op = gen.next();
+        mem += op.isMem();
+        branches += op.cls == OpClass::kBranch;
+    }
+    EXPECT_NEAR(mem / double(n), p.mix.load + p.mix.store, 0.02);
+    EXPECT_NEAR(branches / double(n), p.mix.branch, 0.015);
+}
+
+TEST_P(RegistrySweep, IsolatedCoreTypeOrdering)
+{
+    const BenchmarkProfile &p = specProfile(GetParam());
+    auto isolated = [&](const CoreParams &core) {
+        ChipConfig cfg = ChipConfig::homogeneous("iso", core, 1);
+        ChipSim chip(cfg);
+        Placement pl;
+        pl.entries = {{0, 0}};
+        const SimResult r =
+            chip.runMultiProgram({{&p, 6'000, 2'000}}, pl, 9);
+        return r.threads[0].ipc();
+    };
+    const double big = isolated(CoreParams::big());
+    const double medium = isolated(CoreParams::medium());
+    const double small = isolated(CoreParams::small());
+    EXPECT_GT(big, medium) << GetParam();
+    EXPECT_GT(medium, small * 0.98) << GetParam();
+    // Sanity bounds: nothing exceeds the dispatch width, nothing stalls
+    // to a standstill.
+    EXPECT_LT(big, 4.0) << GetParam();
+    EXPECT_GT(small, 0.02) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RegistrySweep,
+                         ::testing::ValuesIn(specAllBenchmarkNames()));
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the SPEC-like profile registry: presence, validity, and the
+ * diversity properties the paper's benchmark selection relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+namespace {
+
+TEST(SpecProfilesTest, TwelveBenchmarks)
+{
+    EXPECT_EQ(specBenchmarkNames().size(), 12u);
+    EXPECT_EQ(specProfiles().size(), 12u);
+}
+
+TEST(SpecProfilesTest, NamesUniqueAndResolvable)
+{
+    std::set<std::string> seen;
+    for (const auto &name : specBenchmarkNames()) {
+        EXPECT_TRUE(seen.insert(name).second) << "duplicate " << name;
+        EXPECT_EQ(specProfile(name).name, name);
+    }
+}
+
+TEST(SpecProfilesTest, UnknownNameThrows)
+{
+    EXPECT_THROW(specProfile("notabenchmark"), FatalError);
+}
+
+TEST(SpecProfilesTest, AllProfilesValidate)
+{
+    for (const auto *p : specProfiles())
+        EXPECT_NO_THROW(p->validate()) << p->name;
+}
+
+TEST(SpecProfilesTest, PaperNamedBenchmarksPresent)
+{
+    // Benchmarks the paper discusses by name (Figs. 4 and 9).
+    for (const char *name :
+         {"tonto", "libquantum", "mcf", "calculix", "h264ref", "hmmer"})
+        EXPECT_NO_THROW(specProfile(name)) << name;
+}
+
+TEST(SpecProfilesTest, SelectionSpansMemoryIntensity)
+{
+    // The selection must contain clearly bandwidth-bound profiles (large
+    // streaming footprint) and clearly cache-resident ones.
+    int streaming_heavy = 0, cache_resident = 0;
+    for (const auto *p : specProfiles()) {
+        double streaming_frac = 0.0;
+        for (const auto &r : p->regions)
+            if (r.streaming)
+                streaming_frac += r.probability;
+        if (streaming_frac > 0.5)
+            ++streaming_heavy;
+        if (p->memFootprintBeyond(256 * 1024) < 0.05)
+            ++cache_resident;
+    }
+    EXPECT_GE(streaming_heavy, 2);
+    EXPECT_GE(cache_resident, 3);
+}
+
+TEST(SpecProfilesTest, SelectionSpansIlp)
+{
+    double min_dep = 1e9, max_dep = 0.0;
+    for (const auto *p : specProfiles()) {
+        min_dep = std::min(min_dep, p->meanDepDist);
+        max_dep = std::max(max_dep, p->meanDepDist);
+    }
+    EXPECT_LT(min_dep, 3.0) << "need at least one low-ILP benchmark";
+    EXPECT_GT(max_dep, 5.0) << "need at least one high-ILP benchmark";
+}
+
+TEST(SpecProfilesTest, SelectionSpansBranchBehaviour)
+{
+    double min_mr = 1.0, max_mr = 0.0;
+    for (const auto *p : specProfiles()) {
+        min_mr = std::min(min_mr, p->branchMispredictRate);
+        max_mr = std::max(max_mr, p->branchMispredictRate);
+    }
+    EXPECT_LT(min_mr, 0.005);
+    EXPECT_GT(max_mr, 0.02);
+}
+
+TEST(SpecProfilesTest, MemoryBoundProfilesAreMemoryBound)
+{
+    // Streaming sweeps far beyond the LLC dominate libquantum/lbm...
+    EXPECT_GT(specProfile("libquantum").memFootprintBeyond(8u << 20), 0.5);
+    EXPECT_GT(specProfile("lbm").memFootprintBeyond(8u << 20), 0.5);
+    // ...mcf misses the LLC on a sizable fraction of accesses...
+    EXPECT_GT(specProfile("mcf").memFootprintBeyond(8u << 20), 0.05);
+    // ...while hmmer is fully cache-resident.
+    EXPECT_LT(specProfile("hmmer").memFootprintBeyond(256 * 1024), 0.01);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for trace capture/replay: round-trip fidelity, validation, and
+ * replay-thread semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.h"
+#include "trace/spec_profiles.h"
+#include "trace/trace_io.h"
+
+namespace smtflex {
+namespace {
+
+TEST(TraceIoTest, RoundTripPreservesOps)
+{
+    TraceGenerator gen(specProfile("soplex"), 3, 1,
+                       AddressSpace::forThread(1));
+    TraceGenerator ref(specProfile("soplex"), 3, 1,
+                       AddressSpace::forThread(1));
+    std::stringstream file;
+    writeTrace(file, gen, 2000);
+    const auto ops = readTrace(file);
+    ASSERT_EQ(ops.size(), 2000u);
+    for (const MicroOp &op : ops) {
+        const MicroOp expect = ref.next();
+        EXPECT_EQ(op.cls, expect.cls);
+        EXPECT_EQ(op.mispredict, expect.mispredict);
+        EXPECT_EQ(op.fetchLineCross, expect.fetchLineCross);
+        EXPECT_EQ(op.depDist, expect.depDist);
+        EXPECT_EQ(op.addr, expect.addr);
+        EXPECT_EQ(op.fetchAddr, expect.fetchAddr);
+    }
+}
+
+TEST(TraceIoTest, RejectsGarbage)
+{
+    std::stringstream not_a_trace("hello world 3");
+    EXPECT_THROW(readTrace(not_a_trace), FatalError);
+
+    std::stringstream wrong_version("smtflex-trace 99 10");
+    EXPECT_THROW(readTrace(wrong_version), FatalError);
+
+    std::stringstream truncated("smtflex-trace 1 5\n0 0 0 1 100 0\n");
+    EXPECT_THROW(readTrace(truncated), FatalError);
+
+    std::stringstream bad_class("smtflex-trace 1 1\n9 0 0 1 100 0\n");
+    EXPECT_THROW(readTrace(bad_class), FatalError);
+}
+
+TEST(TraceIoTest, EmptyTraceRejected)
+{
+    TraceGenerator gen(specProfile("hmmer"), 1, 0,
+                       AddressSpace::forThread(0));
+    std::stringstream file;
+    EXPECT_THROW(writeTrace(file, gen, 0), FatalError);
+}
+
+TEST(TraceReplayTest, NonLoopingStopsAtEnd)
+{
+    std::vector<MicroOp> ops(10);
+    TraceReplayThread thread(ops, /*loop=*/false);
+    int generated = 0;
+    while (thread.hasWork()) {
+        thread.nextOp();
+        ++generated;
+    }
+    EXPECT_EQ(generated, 10);
+    for (int i = 0; i < 10; ++i)
+        thread.onRetire(100 + i);
+    EXPECT_TRUE(thread.finishedOnePass());
+    EXPECT_EQ(thread.finishCycle(), 109u);
+}
+
+TEST(TraceReplayTest, LoopingWrapsAround)
+{
+    std::vector<MicroOp> ops(4);
+    for (int i = 0; i < 4; ++i)
+        ops[static_cast<std::size_t>(i)].depDist =
+            static_cast<std::uint8_t>(i);
+    TraceReplayThread thread(ops, /*loop=*/true);
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(thread.nextOp().depDist, i);
+    }
+    EXPECT_TRUE(thread.hasWork());
+}
+
+TEST(TraceReplayTest, EmptyTraceRejected)
+{
+    const std::vector<MicroOp> none;
+    EXPECT_THROW(TraceReplayThread(none, false), FatalError);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: determinism, mix fidelity,
+ * address-space disjointness, dependency statistics, reset semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/log.h"
+#include "trace/spec_profiles.h"
+#include "trace/tracegen.h"
+
+namespace smtflex {
+namespace {
+
+BenchmarkProfile
+simpleProfile()
+{
+    BenchmarkProfile p;
+    p.name = "gen-test";
+    p.mix = {.load = 0.25, .store = 0.10, .intAlu = 0.40, .intMul = 0.05,
+             .fp = 0.05, .branch = 0.15};
+    p.meanDepDist = 3.0;
+    p.depNoneProb = 0.2;
+    p.branchMispredictRate = 0.02;
+    p.codeFootprint = 16 * 1024;
+    p.regions = {{32 * 1024, 0.6, false}, {4 * 1024 * 1024, 0.4, true}};
+    return p;
+}
+
+TEST(TraceGenTest, DeterministicStream)
+{
+    const auto p = simpleProfile();
+    TraceGenerator a(p, 42, 1, AddressSpace::forThread(1));
+    TraceGenerator b(p, 42, 1, AddressSpace::forThread(1));
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp x = a.next();
+        const MicroOp y = b.next();
+        EXPECT_EQ(x.cls, y.cls);
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.depDist, y.depDist);
+        EXPECT_EQ(x.mispredict, y.mispredict);
+    }
+}
+
+TEST(TraceGenTest, ResetReproducesStream)
+{
+    const auto p = simpleProfile();
+    TraceGenerator gen(p, 7, 3, AddressSpace::forThread(3));
+    std::vector<MicroOp> first;
+    for (int i = 0; i < 1000; ++i)
+        first.push_back(gen.next());
+    gen.reset();
+    EXPECT_EQ(gen.generated(), 0u);
+    for (int i = 0; i < 1000; ++i) {
+        const MicroOp op = gen.next();
+        EXPECT_EQ(op.cls, first[i].cls);
+        EXPECT_EQ(op.addr, first[i].addr);
+    }
+}
+
+TEST(TraceGenTest, MixMatchesProfile)
+{
+    const auto p = simpleProfile();
+    TraceGenerator gen(p, 11, 0, AddressSpace::forThread(0));
+    std::map<OpClass, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+    EXPECT_NEAR(counts[OpClass::kLoad] / double(n), p.mix.load, 0.01);
+    EXPECT_NEAR(counts[OpClass::kStore] / double(n), p.mix.store, 0.01);
+    EXPECT_NEAR(counts[OpClass::kIntAlu] / double(n), p.mix.intAlu, 0.01);
+    EXPECT_NEAR(counts[OpClass::kIntMul] / double(n), p.mix.intMul, 0.01);
+    EXPECT_NEAR(counts[OpClass::kFpOp] / double(n), p.mix.fp, 0.01);
+    EXPECT_NEAR(counts[OpClass::kBranch] / double(n), p.mix.branch, 0.01);
+}
+
+TEST(TraceGenTest, MemOpsCarryAddressesOthersDoNot)
+{
+    const auto p = simpleProfile();
+    TraceGenerator gen(p, 13, 0, AddressSpace::forThread(0));
+    for (int i = 0; i < 10000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.isMem())
+            EXPECT_NE(op.addr, 0u);
+        else
+            EXPECT_EQ(op.addr, 0u);
+    }
+}
+
+TEST(TraceGenTest, PrivateAddressSpacesDisjoint)
+{
+    const auto p = simpleProfile();
+    TraceGenerator g0(p, 42, 0, AddressSpace::forThread(0));
+    TraceGenerator g1(p, 42, 1, AddressSpace::forThread(1));
+    std::uint64_t min0 = ~0ull, max0 = 0, min1 = ~0ull, max1 = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp a = g0.next();
+        const MicroOp b = g1.next();
+        if (a.isMem()) {
+            min0 = std::min(min0, a.addr);
+            max0 = std::max(max0, a.addr);
+        }
+        if (b.isMem()) {
+            min1 = std::min(min1, b.addr);
+            max1 = std::max(max1, b.addr);
+        }
+    }
+    EXPECT_TRUE(max0 < min1 || max1 < min0)
+        << "address ranges overlap: [" << min0 << "," << max0 << "] vs ["
+        << min1 << "," << max1 << "]";
+}
+
+TEST(TraceGenTest, SharedRegionOverlapsAcrossThreads)
+{
+    auto p = simpleProfile();
+    AddressSpace s0 = AddressSpace::forThread(0);
+    AddressSpace s1 = AddressSpace::forThread(1);
+    s0.sharedBase = s1.sharedBase = Addr{1} << 35;
+    s0.sharedProb = s1.sharedProb = 1.0; // all data accesses shared
+    TraceGenerator g0(p, 42, 0, s0);
+    TraceGenerator g1(p, 43, 1, s1);
+    std::map<Addr, int> lines;
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp a = g0.next();
+        const MicroOp b = g1.next();
+        if (a.isMem())
+            lines[lineAlign(a.addr)] |= 1;
+        if (b.isMem())
+            lines[lineAlign(b.addr)] |= 2;
+    }
+    int both = 0;
+    for (const auto &[line, mask] : lines)
+        both += (mask == 3);
+    EXPECT_GT(both, 100) << "shared accesses never landed on common lines";
+}
+
+TEST(TraceGenTest, DependencyDistanceStatistics)
+{
+    auto p = simpleProfile();
+    p.depNoneProb = 0.0;
+    TraceGenerator gen(p, 17, 0, AddressSpace::forThread(0));
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const MicroOp op = gen.next();
+        EXPECT_GE(op.depDist, 1);
+        sum += op.depDist;
+    }
+    EXPECT_NEAR(sum / n, p.meanDepDist, 0.1);
+}
+
+TEST(TraceGenTest, DepNoneProbability)
+{
+    auto p = simpleProfile();
+    p.depNoneProb = 0.35;
+    TraceGenerator gen(p, 19, 0, AddressSpace::forThread(0));
+    int none = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        none += (gen.next().depDist == 0);
+    EXPECT_NEAR(none / double(n), 0.35, 0.01);
+}
+
+TEST(TraceGenTest, StreamingRegionSweepsSequentiallyWordByWord)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.mix = {.load = 1.0, .store = 0.0, .intAlu = 0.0, .intMul = 0.0,
+             .fp = 0.0, .branch = 0.0};
+    const std::uint64_t region_bytes = 256 * 1024;
+    p.regions = {{region_bytes, 1.0, true}};
+    TraceGenerator gen(p, 23, 0, AddressSpace::forThread(0));
+    // Word-granularity unit stride: 8 consecutive accesses per line, so a
+    // sweep misses once per line in any cache (like real streaming code).
+    Addr prev = gen.next().addr;
+    const std::uint64_t words = region_bytes / 8;
+    for (std::uint64_t i = 1; i < words; ++i) {
+        const Addr addr = gen.next().addr;
+        EXPECT_EQ(addr, prev + 8);
+        prev = addr;
+    }
+    // Wraps back to the region start.
+    EXPECT_EQ(gen.next().addr, prev - (words - 1) * 8);
+}
+
+TEST(TraceGenTest, StreamingTouchesEachLineEightTimes)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.mix = {.load = 1.0, .store = 0.0, .intAlu = 0.0, .intMul = 0.0,
+             .fp = 0.0, .branch = 0.0};
+    p.regions = {{64 * 1024, 1.0, true}};
+    TraceGenerator gen(p, 29, 0, AddressSpace::forThread(0));
+    std::map<Addr, int> per_line;
+    for (int i = 0; i < 64 * 1024 / 8; ++i)
+        ++per_line[lineAlign(gen.next().addr)];
+    for (const auto &[line, count] : per_line)
+        EXPECT_EQ(count, 8) << "line " << line;
+}
+
+TEST(TraceGenTest, AccessSkewConcentratesOnHotEnd)
+{
+    // With the default skew of 3, about (1/2)^(1/3) ~ 79% of a region's
+    // accesses land in its lower half, and ~58% in the lowest fifth.
+    BenchmarkProfile p = simpleProfile();
+    p.mix = {.load = 1.0, .store = 0.0, .intAlu = 0.0, .intMul = 0.0,
+             .fp = 0.0, .branch = 0.0};
+    const std::uint64_t bytes = 1 * 1024 * 1024;
+    p.regions = {{bytes, 1.0, false}};
+    TraceGenerator gen(p, 41, 0, AddressSpace::forThread(0));
+    Addr base = ~Addr{0};
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 50000; ++i) {
+        const Addr a = gen.next().addr;
+        base = std::min(base, a);
+        addrs.push_back(a);
+    }
+    int lower_half = 0, lowest_fifth = 0;
+    for (const Addr a : addrs) {
+        lower_half += (a - base) < bytes / 2;
+        lowest_fifth += (a - base) < bytes / 5;
+    }
+    EXPECT_NEAR(lower_half / 50000.0, 0.794, 0.02);
+    EXPECT_NEAR(lowest_fifth / 50000.0, 0.585, 0.02);
+}
+
+TEST(TraceGenTest, SkewOneIsUniform)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.mix = {.load = 1.0, .store = 0.0, .intAlu = 0.0, .intMul = 0.0,
+             .fp = 0.0, .branch = 0.0};
+    p.regions = {{1 * 1024 * 1024, 1.0, false}};
+    p.accessSkew = 1;
+    TraceGenerator gen(p, 43, 0, AddressSpace::forThread(0));
+    Addr base = ~Addr{0};
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 50000; ++i) {
+        const Addr a = gen.next().addr;
+        base = std::min(base, a);
+        addrs.push_back(a);
+    }
+    int lower_half = 0;
+    for (const Addr a : addrs)
+        lower_half += (a - base) < 512 * 1024;
+    EXPECT_NEAR(lower_half / 50000.0, 0.5, 0.02);
+}
+
+TEST(TraceGenTest, SkewOutOfRangeRejected)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.accessSkew = 0;
+    TraceGenerator gen_ok(simpleProfile(), 1, 0,
+                          AddressSpace::forThread(0)); // sanity
+    EXPECT_THROW(p.validate(), FatalError);
+    p.accessSkew = 9;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(TraceGenTest, MispredictRateMatches)
+{
+    auto p = simpleProfile();
+    p.branchMispredictRate = 0.05;
+    TraceGenerator gen(p, 29, 0, AddressSpace::forThread(0));
+    int branches = 0, mispredicts = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::kBranch) {
+            ++branches;
+            mispredicts += op.mispredict;
+        }
+    }
+    ASSERT_GT(branches, 0);
+    EXPECT_NEAR(mispredicts / double(branches), 0.05, 0.01);
+}
+
+TEST(TraceGenTest, FetchAddressesStayInCodeFootprint)
+{
+    const auto p = simpleProfile();
+    const AddressSpace space = AddressSpace::forThread(5);
+    TraceGenerator gen(p, 31, 5, space);
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.fetchLineCross) {
+            EXPECT_GE(op.fetchAddr, space.privateBase);
+            EXPECT_LT(op.fetchAddr, space.privateBase + p.codeFootprint);
+        }
+    }
+}
+
+} // namespace
+} // namespace smtflex

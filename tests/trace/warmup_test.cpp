@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the functional-warmup support: resident-line enumeration and
+ * cache installation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/cache.h"
+#include "trace/tracegen.h"
+
+namespace smtflex {
+namespace {
+
+BenchmarkProfile
+warmProfile()
+{
+    BenchmarkProfile p;
+    p.name = "warm-test";
+    p.mix = {.load = 0.3, .store = 0.1, .intAlu = 0.4, .intMul = 0.0,
+             .fp = 0.1, .branch = 0.1};
+    p.codeFootprint = 8 * 1024;
+    p.regions = {{16 * 1024, 0.5, false},
+                 {64 * 1024, 0.3, false},
+                 {32 * 1024 * 1024, 0.2, true}}; // streaming: skipped
+    return p;
+}
+
+TEST(ResidentLinesTest, EnumeratesNonStreamingRegionsAndCode)
+{
+    const auto p = warmProfile();
+    const AddressSpace space = AddressSpace::forThread(3);
+    std::size_t data_lines = 0, code_lines = 0;
+    TraceGenerator::forEachResidentLine(
+        p, space, 8 * 1024 * 1024, [&](Addr, bool is_code) {
+            ++(is_code ? code_lines : data_lines);
+        });
+    EXPECT_EQ(data_lines, (16 * 1024 + 64 * 1024) / kLineSize);
+    EXPECT_EQ(code_lines, 8 * 1024 / kLineSize);
+}
+
+TEST(ResidentLinesTest, SkipsOversizedRegions)
+{
+    auto p = warmProfile();
+    p.regions[1].bytes = 64 * 1024 * 1024; // now beyond the cap
+    p.regions[1].streaming = false;
+    std::size_t data_lines = 0;
+    TraceGenerator::forEachResidentLine(
+        p, AddressSpace::forThread(0), 8 * 1024 * 1024,
+        [&](Addr, bool is_code) { data_lines += !is_code; });
+    EXPECT_EQ(data_lines, (16 * 1024) / kLineSize);
+}
+
+TEST(ResidentLinesTest, LargestRegionFirstHottestLast)
+{
+    const auto p = warmProfile();
+    // Lines of one region are visited contiguously (cold end down to hot
+    // end); a non-sequential jump marks a region switch.
+    std::vector<std::size_t> sizes_seen;
+    std::size_t current = 0;
+    Addr prev = 0;
+    TraceGenerator::forEachResidentLine(
+        p, AddressSpace::forThread(0), 8 * 1024 * 1024,
+        [&](Addr addr, bool is_code) {
+            if (is_code)
+                return;
+            if (current == 0 || addr + kLineSize == prev) {
+                ++current;
+            } else {
+                sizes_seen.push_back(current);
+                current = 1;
+            }
+            prev = addr;
+        });
+    sizes_seen.push_back(current);
+    ASSERT_EQ(sizes_seen.size(), 2u);
+    EXPECT_GT(sizes_seen[0], sizes_seen[1]) << "largest region first";
+}
+
+TEST(ResidentLinesTest, CoverageMatchesGeneratedAddresses)
+{
+    // Every non-streaming address the generator produces must be inside
+    // the enumerated resident set.
+    const auto p = warmProfile();
+    const AddressSpace space = AddressSpace::forThread(7);
+    std::set<Addr> resident;
+    TraceGenerator::forEachResidentLine(
+        p, space, 8 * 1024 * 1024,
+        [&](Addr addr, bool) { resident.insert(lineAlign(addr)); });
+
+    TraceGenerator gen(p, 11, 7, space);
+    std::size_t checked = 0, covered = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.isMem()) {
+            ++checked;
+            covered += resident.count(lineAlign(op.addr)) > 0;
+        }
+        if (op.fetchLineCross) {
+            ++checked;
+            covered += resident.count(op.fetchAddr) > 0;
+        }
+    }
+    // Streaming region accesses (~20% of data) are intentionally absent.
+    EXPECT_GT(static_cast<double>(covered) / checked, 0.70);
+}
+
+TEST(ResidentLinesTest, SharedSpaceVisitsBothPlacements)
+{
+    auto p = warmProfile();
+    AddressSpace space = AddressSpace::forThread(1);
+    space.sharedBase = Addr{1} << 35;
+    space.sharedProb = 0.5;
+    std::size_t data_lines = 0;
+    TraceGenerator::forEachResidentLine(
+        p, space, 8 * 1024 * 1024,
+        [&](Addr, bool is_code) { data_lines += !is_code; });
+    // Private + shared copies of both resident regions.
+    EXPECT_EQ(data_lines, 2 * (16 * 1024 + 64 * 1024) / kLineSize);
+}
+
+TEST(CacheInstallTest, InstallMakesLinesResidentWithoutStats)
+{
+    SetAssocCache cache("w", {32 * 1024, 4});
+    for (Addr a = 0; a < 16 * 1024; a += kLineSize)
+        cache.install(a);
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    std::uint64_t hits = 0;
+    for (Addr a = 0; a < 16 * 1024; a += kLineSize)
+        hits += cache.access(a, false).hit;
+    EXPECT_EQ(hits, 16u * 1024 / kLineSize);
+}
+
+TEST(CacheInstallTest, InstallRespectsLru)
+{
+    SetAssocCache cache("tiny", {128, 2}); // one set, two ways
+    cache.install(0 * 64);
+    cache.install(1 * 64);
+    cache.install(2 * 64); // evicts line 0 (LRU)
+    EXPECT_FALSE(cache.contains(0 * 64));
+    EXPECT_TRUE(cache.contains(1 * 64));
+    EXPECT_TRUE(cache.contains(2 * 64));
+}
+
+TEST(CacheInstallTest, InstallOverDirtyLineDropsItSilently)
+{
+    SetAssocCache cache("tiny", {128, 2});
+    cache.access(0 * 64, true); // dirty via normal access
+    cache.access(1 * 64, true);
+    cache.install(2 * 64); // evicts the dirty LRU silently
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+    EXPECT_TRUE(cache.contains(2 * 64));
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Table 1 core parameter sets and their variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "uarch/core_params.h"
+
+namespace smtflex {
+namespace {
+
+TEST(CoreParamsTest, Table1Big)
+{
+    const CoreParams b = CoreParams::big();
+    EXPECT_EQ(b.type, CoreType::kBig);
+    EXPECT_TRUE(b.outOfOrder);
+    EXPECT_EQ(b.width, 4u);
+    EXPECT_EQ(b.robSize, 128u);
+    EXPECT_EQ(b.maxSmtContexts, 6u);
+    EXPECT_EQ(b.intUnits, 3u);
+    EXPECT_EQ(b.ldstUnits, 2u);
+    EXPECT_EQ(b.l1i.sizeBytes, 32u * 1024);
+    EXPECT_EQ(b.l1i.assoc, 4u);
+    EXPECT_EQ(b.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(b.l2.assoc, 8u);
+    EXPECT_DOUBLE_EQ(b.freqGHz, 2.66);
+    EXPECT_NO_THROW(b.validate());
+}
+
+TEST(CoreParamsTest, Table1Medium)
+{
+    const CoreParams m = CoreParams::medium();
+    EXPECT_EQ(m.type, CoreType::kMedium);
+    EXPECT_TRUE(m.outOfOrder);
+    EXPECT_EQ(m.width, 2u);
+    EXPECT_EQ(m.robSize, 32u);
+    EXPECT_EQ(m.maxSmtContexts, 3u);
+    EXPECT_EQ(m.l1d.sizeBytes, 16u * 1024);
+    EXPECT_EQ(m.l2.sizeBytes, 128u * 1024);
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(CoreParamsTest, Table1Small)
+{
+    const CoreParams s = CoreParams::small();
+    EXPECT_EQ(s.type, CoreType::kSmall);
+    EXPECT_FALSE(s.outOfOrder);
+    EXPECT_EQ(s.width, 2u);
+    EXPECT_EQ(s.maxSmtContexts, 2u);
+    EXPECT_EQ(s.l1d.sizeBytes, 6u * 1024);
+    EXPECT_EQ(s.l2.sizeBytes, 48u * 1024);
+    EXPECT_NO_THROW(s.validate());
+}
+
+TEST(CoreParamsTest, CoreTypeTags)
+{
+    EXPECT_STREQ(coreTypeTag(CoreType::kBig), "B");
+    EXPECT_STREQ(coreTypeTag(CoreType::kMedium), "m");
+    EXPECT_STREQ(coreTypeTag(CoreType::kSmall), "s");
+}
+
+TEST(CoreParamsTest, WithBigCachesCopiesBigGeometry)
+{
+    const CoreParams s = CoreParams::small().withBigCaches();
+    const CoreParams b = CoreParams::big();
+    EXPECT_EQ(s.l1i.sizeBytes, b.l1i.sizeBytes);
+    EXPECT_EQ(s.l1d.sizeBytes, b.l1d.sizeBytes);
+    EXPECT_EQ(s.l2.sizeBytes, b.l2.sizeBytes);
+    EXPECT_EQ(s.name, "small_lc");
+    EXPECT_FALSE(s.outOfOrder); // pipeline unchanged
+    EXPECT_NO_THROW(s.validate());
+}
+
+TEST(CoreParamsTest, WithFrequency)
+{
+    const CoreParams m = CoreParams::medium().withFrequency(3.33);
+    EXPECT_DOUBLE_EQ(m.freqGHz, 3.33);
+    EXPECT_EQ(m.name, "medium_hf");
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(CoreParamsTest, ValidationCatchesNonsense)
+{
+    CoreParams p = CoreParams::big();
+    p.width = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = CoreParams::big();
+    p.robSize = 2; // smaller than width
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = CoreParams::big();
+    p.maxSmtContexts = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = CoreParams::big();
+    p.freqGHz = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = CoreParams::big();
+    p.mshrs = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the in-order fine-grained-MT core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/uarch/test_helpers.h"
+#include "trace/spec_profiles.h"
+#include "uarch/inorder_core.h"
+#include "uarch/ooo_core.h"
+
+namespace smtflex {
+namespace {
+
+using test::FixedLatencyMemory;
+using test::PatternThread;
+using test::ProfileThread;
+using test::aluOp;
+using test::runCycles;
+
+TEST(InOrderCoreTest, IndependentAluDualIssues)
+{
+    FixedLatencyMemory mem;
+    const CoreParams p = CoreParams::small();
+    InOrderCore core(p, 0, 1, &mem, 2.66);
+    PatternThread thread({aluOp()});
+    core.attachThread(0, &thread);
+    runCycles(core, 1000);
+    EXPECT_NEAR(static_cast<double>(thread.retired()) / 1000.0, 2.0, 0.2);
+}
+
+TEST(InOrderCoreTest, DependentChainSingleIssues)
+{
+    FixedLatencyMemory mem;
+    const CoreParams p = CoreParams::small();
+    InOrderCore core(p, 0, 1, &mem, 2.66);
+    MicroOp dep = aluOp();
+    dep.depDist = 1;
+    PatternThread thread({dep});
+    core.attachThread(0, &thread);
+    runCycles(core, 1000);
+    EXPECT_NEAR(static_cast<double>(thread.retired()) / 1000.0, 1.0, 0.15);
+}
+
+TEST(InOrderCoreTest, StallOnMissFreezesContext)
+{
+    // With a huge memory latency, a single missing load dominates: IPC
+    // collapses towards cycles/latency.
+    FixedLatencyMemory mem(1000);
+    const CoreParams p = CoreParams::small();
+    InOrderCore core(p, 0, 1, &mem, 2.66);
+    const BenchmarkProfile &stream = specProfile("lbm"); // streaming misses
+    ProfileThread thread(stream, 0, 1u << 30);
+    core.attachThread(0, &thread);
+    runCycles(core, 30000);
+    const double ipc = static_cast<double>(core.stats().retired) / 30000.0;
+    EXPECT_LT(ipc, 0.35) << "in-order core must stall on misses";
+}
+
+TEST(InOrderCoreTest, FgmtHidesStalls)
+{
+    // Two threads with miss-heavy behaviour: the barrel scheduler lets one
+    // thread run while the other waits -> higher combined throughput.
+    const BenchmarkProfile &bench = specProfile("milc");
+    FixedLatencyMemory mem(300);
+    const CoreParams p = CoreParams::small();
+
+    InOrderCore solo(p, 0, 2, &mem, 2.66);
+    ProfileThread t0(bench, 0, 1u << 30);
+    solo.attachThread(0, &t0);
+    runCycles(solo, 30000);
+    const double ipc1 = static_cast<double>(solo.stats().retired) / 30000.0;
+
+    FixedLatencyMemory mem2(300);
+    InOrderCore duo(p, 0, 2, &mem2, 2.66);
+    ProfileThread t1(bench, 1, 1u << 30);
+    ProfileThread t2(bench, 2, 1u << 30);
+    duo.attachThread(0, &t1);
+    duo.attachThread(1, &t2);
+    runCycles(duo, 30000);
+    const double ipc2 = static_cast<double>(duo.stats().retired) / 30000.0;
+
+    EXPECT_GT(ipc2, ipc1 * 1.1);
+}
+
+TEST(InOrderCoreTest, SlowerThanOooOnIlpRichCode)
+{
+    // The defining Table 1 property: a big OoO core beats the small
+    // in-order core on ILP-rich code by a wide margin.
+    const BenchmarkProfile &bench = specProfile("calculix");
+    FixedLatencyMemory mem(120);
+
+    InOrderCore small_core(CoreParams::small(), 0, 1, &mem, 2.66);
+    ProfileThread t0(bench, 0, 1u << 30);
+    small_core.attachThread(0, &t0);
+    runCycles(small_core, 20000);
+    const double ipc_small =
+        static_cast<double>(small_core.stats().retired) / 20000.0;
+
+    FixedLatencyMemory mem2(120);
+    OooCore big_core(CoreParams::big(), 0, 1, &mem2, 2.66);
+    ProfileThread t1(bench, 1, 1u << 30);
+    big_core.attachThread(0, &t1);
+    runCycles(big_core, 20000);
+    const double ipc_big =
+        static_cast<double>(big_core.stats().retired) / 20000.0;
+
+    EXPECT_GT(ipc_big, ipc_small * 1.5);
+}
+
+TEST(InOrderCoreTest, MispredictPenaltyApplies)
+{
+    auto run = [&](bool mispredict) {
+        FixedLatencyMemory mem;
+        InOrderCore core(CoreParams::small(), 0, 1, &mem, 2.66);
+        MicroOp branch;
+        branch.cls = OpClass::kBranch;
+        branch.mispredict = mispredict;
+        PatternThread thread({aluOp(), aluOp(), aluOp(), branch});
+        core.attachThread(0, &thread);
+        runCycles(core, 3000);
+        return thread.retired();
+    };
+    EXPECT_GT(run(false), run(true) * 5 / 4);
+}
+
+TEST(InOrderCoreTest, MakeCoreDispatchesOnOutOfOrderFlag)
+{
+    FixedLatencyMemory mem;
+    auto in_order = makeCore(CoreParams::small(), 0, 1, &mem, 2.66);
+    auto out_of_order = makeCore(CoreParams::big(), 1, 1, &mem, 2.66);
+    EXPECT_NE(dynamic_cast<InOrderCore *>(in_order.get()), nullptr);
+    EXPECT_NE(dynamic_cast<OooCore *>(out_of_order.get()), nullptr);
+}
+
+} // namespace
+} // namespace smtflex

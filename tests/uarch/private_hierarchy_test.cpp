@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the private cache hierarchy: latency composition per level,
+ * MSHR backpressure, writeback propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "tests/uarch/test_helpers.h"
+#include "uarch/private_hierarchy.h"
+
+namespace smtflex {
+namespace {
+
+using test::FixedLatencyMemory;
+
+TEST(PrivateHierarchyTest, L1HitLatency)
+{
+    FixedLatencyMemory mem(150);
+    const CoreParams p = CoreParams::big();
+    PrivateHierarchy h(p, 0, &mem);
+
+    // Warm the line (goes to shared memory), then hit in L1.
+    auto first = h.dataAccess(0, 0x1000, false);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->level, MemLevel::kBeyond);
+
+    auto hit = h.dataAccess(1000, 0x1000, false);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->level, MemLevel::kL1);
+    EXPECT_EQ(hit->completion, 1000u + p.latL1);
+}
+
+TEST(PrivateHierarchyTest, MissLatencyIncludesSharedMemory)
+{
+    FixedLatencyMemory mem(150);
+    const CoreParams p = CoreParams::big();
+    PrivateHierarchy h(p, 0, &mem);
+
+    auto miss = h.dataAccess(0, 0x2000, false);
+    ASSERT_TRUE(miss.has_value());
+    // L1 lookup + L2 lookup, then 150 cycles in the shared system.
+    EXPECT_EQ(miss->completion, p.latL1 + p.latL2 + 150u);
+    EXPECT_EQ(mem.fetches(), 1u);
+}
+
+TEST(PrivateHierarchyTest, L2HitLatency)
+{
+    FixedLatencyMemory mem(150);
+    const CoreParams p = CoreParams::big();
+    PrivateHierarchy h(p, 0, &mem);
+
+    // Fill enough distinct lines mapping to one L1 set so that a line gets
+    // evicted from the (32 KB, 4-way, 128-set) L1 but still sits in L2.
+    const std::uint64_t l1_sets = p.l1d.numSets();
+    for (int i = 0; i < 5; ++i)
+        h.dataAccess(10'000 * (i + 1),
+                     Addr(i) * l1_sets * kLineSize, false);
+    // Line 0 was evicted from L1 (LRU) but is in the 256 KB L2.
+    auto again = h.dataAccess(100'000, 0, false);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->level, MemLevel::kL2);
+    EXPECT_EQ(again->completion, 100'000u + p.latL1 + p.latL2);
+    EXPECT_EQ(mem.fetches(), 5u);
+}
+
+TEST(PrivateHierarchyTest, MshrLimitRejectsDataAccesses)
+{
+    FixedLatencyMemory mem(1000);
+    const CoreParams p = CoreParams::big(); // 8 MSHRs
+    PrivateHierarchy h(p, 0, &mem);
+
+    // Launch 8 concurrent misses at cycle 0; all accepted. The i*line
+    // offset spreads the lines over distinct L1 sets.
+    for (std::uint32_t i = 0; i < p.mshrs; ++i) {
+        auto access =
+            h.dataAccess(0, (Addr(i) << 20) + i * kLineSize, false);
+        EXPECT_TRUE(access.has_value()) << i;
+    }
+    EXPECT_EQ(h.outstandingMisses(1), p.mshrs);
+
+    // The 9th miss is rejected...
+    EXPECT_FALSE(h.dataAccess(1, Addr{99} << 20, false).has_value());
+    // ...but an L1 hit still goes through.
+    auto hit = h.dataAccess(1, Addr{0}, false);
+    EXPECT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->level, MemLevel::kL1);
+
+    // After the misses complete, new misses are accepted again.
+    auto late = h.dataAccess(5000, Addr{99} << 20, false);
+    EXPECT_TRUE(late.has_value());
+}
+
+TEST(PrivateHierarchyTest, InstrAccessNeverRejected)
+{
+    FixedLatencyMemory mem(1000);
+    const CoreParams p = CoreParams::small(); // 2 MSHRs
+    PrivateHierarchy h(p, 0, &mem);
+    for (std::uint32_t i = 0; i < p.mshrs; ++i)
+        h.dataAccess(0, Addr(i) << 20, false);
+    // Data path is saturated; instruction fetch still completes.
+    const MemAccess fetch = h.instrAccess(1, Addr{50} << 20);
+    EXPECT_EQ(fetch.level, MemLevel::kBeyond);
+    EXPECT_GT(fetch.completion, 1u);
+}
+
+TEST(PrivateHierarchyTest, DirtyL2EvictionReachesSharedMemory)
+{
+    FixedLatencyMemory mem(10);
+    CoreParams p = CoreParams::small(); // 48 KB L2: easy to thrash
+    PrivateHierarchy h(p, 0, &mem);
+
+    // Write a footprint much larger than the L2; dirty lines must be
+    // written back to the shared system.
+    const std::uint64_t lines = (512 * 1024) / kLineSize;
+    Cycle now = 0;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        h.dataAccess(now, i * kLineSize, true);
+        now += 50; // stay under the MSHR limit
+    }
+    EXPECT_GT(mem.writebacks(), lines / 2);
+}
+
+TEST(PrivateHierarchyTest, InvalidateAllColdRestart)
+{
+    FixedLatencyMemory mem(100);
+    const CoreParams p = CoreParams::big();
+    PrivateHierarchy h(p, 0, &mem);
+    h.dataAccess(0, 0x1000, false);
+    h.dataAccess(500, 0x1000, false);
+    EXPECT_EQ(h.l1d().stats().misses, 1u);
+    h.invalidateAll();
+    auto after = h.dataAccess(1000, 0x1000, false);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->level, MemLevel::kBeyond);
+}
+
+TEST(PrivateHierarchyTest, NextLinePrefetchHidesStreamingMisses)
+{
+    // With the prefetcher on, a sequential line walk sees far fewer
+    // demand misses (the next line is already resident).
+    auto run = [](bool prefetch) {
+        FixedLatencyMemory mem(100);
+        CoreParams p = CoreParams::big();
+        p.dataPrefetch = prefetch;
+        PrivateHierarchy h(p, 0, &mem);
+        Cycle now = 0;
+        std::uint64_t beyond = 0;
+        for (Addr a = 0; a < 512 * 1024; a += kLineSize) {
+            const auto access = h.dataAccess(now, a, false);
+            beyond += access && access->level == MemLevel::kBeyond;
+            now += 200; // fills complete between accesses
+        }
+        return beyond;
+    };
+    const std::uint64_t without = run(false);
+    const std::uint64_t with = run(true);
+    EXPECT_LT(with, without / 4);
+}
+
+TEST(PrivateHierarchyTest, PrefetchConsumesSharedBandwidth)
+{
+    FixedLatencyMemory mem(100);
+    CoreParams p = CoreParams::big();
+    p.dataPrefetch = true;
+    PrivateHierarchy h(p, 0, &mem);
+    h.dataAccess(0, 0x100000, false);
+    // Demand fetch + prefetch of the next line.
+    EXPECT_EQ(mem.fetches(), 2u);
+}
+
+TEST(PrivateHierarchyTest, NullSharedMemoryRejected)
+{
+    EXPECT_THROW(PrivateHierarchy(CoreParams::big(), 0, nullptr),
+                 FatalError);
+}
+
+} // namespace
+} // namespace smtflex

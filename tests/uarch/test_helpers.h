@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared fakes for the core-model unit tests: a fixed-latency shared memory
+ * and scripted/synthetic thread sources.
+ */
+
+#ifndef SMTFLEX_TESTS_UARCH_TEST_HELPERS_H
+#define SMTFLEX_TESTS_UARCH_TEST_HELPERS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/tracegen.h"
+#include "uarch/core.h"
+#include "uarch/memory_system.h"
+#include "uarch/thread_source.h"
+
+namespace smtflex {
+namespace test {
+
+/** Shared memory that always fills after a fixed latency. */
+class FixedLatencyMemory : public MemorySystem
+{
+  public:
+    explicit FixedLatencyMemory(Cycle latency = 150) : latency_(latency) {}
+
+    Cycle
+    fetchLine(Cycle now, Addr, std::uint32_t) override
+    {
+        ++fetches_;
+        return now + latency_;
+    }
+
+    void
+    writebackLine(Cycle, Addr, std::uint32_t) override
+    {
+        ++writebacks_;
+    }
+
+    std::uint64_t fetches() const { return fetches_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    Cycle latency_;
+    std::uint64_t fetches_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+/** Thread source generating an infinite stream of one op pattern. */
+class PatternThread : public ThreadSource
+{
+  public:
+    explicit PatternThread(std::vector<MicroOp> pattern)
+        : pattern_(std::move(pattern))
+    {
+    }
+
+    MicroOp
+    nextOp() override
+    {
+        MicroOp op = pattern_[index_ % pattern_.size()];
+        ++index_;
+        ++generated_;
+        return op;
+    }
+
+    bool hasWork() override { return generated_ < limit_; }
+
+    void onRetire(Cycle now) override
+    {
+        ++retired_;
+        lastRetire_ = now;
+    }
+
+    void setLimit(std::uint64_t limit) { limit_ = limit; }
+    std::uint64_t retired() const { return retired_; }
+    std::uint64_t generated() const { return generated_; }
+    Cycle lastRetire() const { return lastRetire_; }
+
+  private:
+    std::vector<MicroOp> pattern_;
+    std::size_t index_ = 0;
+    std::uint64_t generated_ = 0;
+    std::uint64_t retired_ = 0;
+    std::uint64_t limit_ = ~std::uint64_t{0};
+    Cycle lastRetire_ = 0;
+};
+
+/** Thread source running a synthetic profile (real trace generator). */
+class ProfileThread : public ThreadSource
+{
+  public:
+    ProfileThread(const BenchmarkProfile &profile, std::uint32_t id,
+                  std::uint64_t limit)
+        : gen_(profile, 42, id, AddressSpace::forThread(id)), limit_(limit)
+    {
+    }
+
+    MicroOp nextOp() override { return gen_.next(); }
+    bool hasWork() override { return gen_.generated() < limit_; }
+    void onRetire(Cycle) override { ++retired_; }
+
+    std::uint64_t retired() const { return retired_; }
+    bool done() const { return retired_ >= limit_; }
+
+  private:
+    TraceGenerator gen_;
+    std::uint64_t limit_;
+    std::uint64_t retired_ = 0;
+};
+
+/** An IntAlu op with no dependencies. */
+inline MicroOp
+aluOp()
+{
+    MicroOp op;
+    op.cls = OpClass::kIntAlu;
+    return op;
+}
+
+/** A load to @p addr with no dependencies. */
+inline MicroOp
+loadOp(Addr addr)
+{
+    MicroOp op;
+    op.cls = OpClass::kLoad;
+    op.addr = addr;
+    return op;
+}
+
+/** Drive @p core for @p cycles global cycles. */
+inline void
+runCycles(Core &core, Cycle cycles, Cycle start = 0)
+{
+    for (Cycle c = start + 1; c <= start + cycles; ++c)
+        core.tick(c);
+}
+
+} // namespace test
+} // namespace smtflex
+
+#endif // SMTFLEX_TESTS_UARCH_TEST_HELPERS_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the thread-count distributions of paper Section 4.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "workload/distributions.h"
+
+namespace smtflex {
+namespace {
+
+TEST(DistributionsTest, UniformIsUniform)
+{
+    const auto d = uniformThreadCounts(24);
+    EXPECT_EQ(d.size(), 24u);
+    for (std::size_t n = 1; n <= 24; ++n)
+        EXPECT_NEAR(d.probability(n), 1.0 / 24.0, 1e-12);
+    EXPECT_NEAR(d.mean(), 12.5, 1e-9);
+}
+
+TEST(DistributionsTest, DatacenterShape)
+{
+    // Paper Fig. 10a: peak at 1 thread, local hump around 7-9 threads,
+    // small tail at 24.
+    const auto d = datacenterThreadCounts(24);
+    EXPECT_EQ(d.size(), 24u);
+    // 1 thread is the global peak.
+    for (std::size_t n = 2; n <= 24; ++n)
+        EXPECT_GT(d.probability(1), d.probability(n)) << n;
+    // The hump: 8 threads more likely than 4 and than 14.
+    EXPECT_GT(d.probability(8), d.probability(4));
+    EXPECT_GT(d.probability(8), d.probability(14));
+    // Thin tail.
+    EXPECT_LT(d.probability(24), 0.02);
+    // Peak magnitude ~0.11 like the paper's figure.
+    EXPECT_NEAR(d.probability(1), 0.11, 0.03);
+    // Skewed towards few threads.
+    EXPECT_LT(d.mean(), 12.5);
+}
+
+TEST(DistributionsTest, MirroredDatacenterShape)
+{
+    const auto d = mirroredDatacenterThreadCounts(24);
+    // Peak at 24 threads, hump around 16-18.
+    for (std::size_t n = 1; n <= 23; ++n)
+        EXPECT_GT(d.probability(24), d.probability(n)) << n;
+    EXPECT_GT(d.probability(17), d.probability(21));
+    EXPECT_GT(d.probability(17), d.probability(11));
+    EXPECT_GT(d.mean(), 12.5);
+}
+
+TEST(DistributionsTest, MirrorSymmetry)
+{
+    const auto d = datacenterThreadCounts(24);
+    const auto m = mirroredDatacenterThreadCounts(24);
+    for (std::size_t n = 1; n <= 24; ++n)
+        EXPECT_NEAR(d.probability(n), m.probability(25 - n), 1e-12);
+}
+
+TEST(DistributionsTest, ScalesToOtherThreadCounts)
+{
+    // The distributions project to larger machines (paper: "8 large cores
+    // and up to 48 threads").
+    const auto d = datacenterThreadCounts(48);
+    EXPECT_EQ(d.size(), 48u);
+    for (std::size_t n = 2; n <= 48; ++n)
+        EXPECT_GT(d.probability(1), d.probability(n));
+    // Hump scales with the machine: around 16 for 48 threads.
+    EXPECT_GT(d.probability(16), d.probability(8));
+    EXPECT_GT(d.probability(16), d.probability(28));
+}
+
+TEST(DistributionsTest, ZeroSizeRejected)
+{
+    EXPECT_THROW(uniformThreadCounts(0), FatalError);
+    EXPECT_THROW(datacenterThreadCounts(0), FatalError);
+}
+
+} // namespace
+} // namespace smtflex

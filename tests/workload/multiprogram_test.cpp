@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for multi-program workload construction, especially the balanced
+ * random sampling of heterogeneous mixes (Velasquez et al.).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/log.h"
+#include "trace/spec_profiles.h"
+#include "workload/multiprogram.h"
+
+namespace smtflex {
+namespace {
+
+TEST(HomogeneousWorkloadTest, NCopies)
+{
+    const auto w = homogeneousWorkload("tonto", 6);
+    EXPECT_EQ(w.size(), 6u);
+    EXPECT_EQ(w.name, "tontox6");
+    for (const auto *p : w.programs)
+        EXPECT_EQ(p->name, "tonto");
+}
+
+TEST(HomogeneousWorkloadTest, SpecsCarryBudgetAndWarmup)
+{
+    const auto specs = homogeneousWorkload("mcf", 3).specs(5000, 1000);
+    ASSERT_EQ(specs.size(), 3u);
+    for (const auto &s : specs) {
+        EXPECT_EQ(s.budget, 5000u);
+        EXPECT_EQ(s.warmup, 1000u);
+        EXPECT_EQ(s.profile->name, "mcf");
+    }
+    EXPECT_THROW(homogeneousWorkload("mcf", 3).specs(0), FatalError);
+    EXPECT_THROW(homogeneousWorkload("mcf", 0), FatalError);
+}
+
+TEST(HeterogeneousWorkloadsTest, BalancedSampling)
+{
+    // 12 mixes of n threads: every benchmark appears exactly n times.
+    for (std::size_t n : {2u, 3u, 7u, 24u}) {
+        const auto mixes = heterogeneousWorkloads(n, 12, 99);
+        ASSERT_EQ(mixes.size(), 12u);
+        std::map<std::string, int> counts;
+        for (const auto &mix : mixes) {
+            EXPECT_EQ(mix.size(), n);
+            for (const auto *p : mix.programs)
+                ++counts[p->name];
+        }
+        EXPECT_EQ(counts.size(), 12u);
+        for (const auto &[name, count] : counts)
+            EXPECT_EQ(count, static_cast<int>(n)) << name;
+    }
+}
+
+TEST(HeterogeneousWorkloadsTest, DeterministicForSeed)
+{
+    const auto a = heterogeneousWorkloads(4, 12, 5);
+    const auto b = heterogeneousWorkloads(4, 12, 5);
+    for (std::size_t m = 0; m < a.size(); ++m)
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_EQ(a[m].programs[i], b[m].programs[i]);
+}
+
+TEST(HeterogeneousWorkloadsTest, DifferentSeedsDiffer)
+{
+    const auto a = heterogeneousWorkloads(8, 12, 5);
+    const auto b = heterogeneousWorkloads(8, 12, 6);
+    int same = 0, total = 0;
+    for (std::size_t m = 0; m < a.size(); ++m)
+        for (std::size_t i = 0; i < 8; ++i, ++total)
+            same += a[m].programs[i] == b[m].programs[i];
+    EXPECT_LT(same, total / 2);
+}
+
+TEST(HeterogeneousWorkloadsTest, MixesAreShuffledNotSorted)
+{
+    // At least one mix must contain two different benchmarks (catches a
+    // non-shuffled pool).
+    const auto mixes = heterogeneousWorkloads(2, 12, 1);
+    bool any_mixed = false;
+    for (const auto &mix : mixes)
+        any_mixed |= mix.programs[0] != mix.programs[1];
+    EXPECT_TRUE(any_mixed);
+}
+
+TEST(HeterogeneousWorkloadsTest, UnbalanceableRequestRejected)
+{
+    // 5 mixes x 5 threads = 25 slots cannot balance 12 benchmarks.
+    EXPECT_THROW(heterogeneousWorkloads(5, 5, 1), FatalError);
+    EXPECT_THROW(heterogeneousWorkloads(0, 12, 1), FatalError);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the crossbar / LLC banking model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "xbar/crossbar.h"
+
+namespace smtflex {
+namespace {
+
+TEST(CrossbarTest, UncontendedLatencyIsHop)
+{
+    Crossbar xbar({.hopLatency = 4, .numBanks = 8, .bankOccupancy = 4});
+    EXPECT_EQ(xbar.request(100, 0x0), 104u);
+    EXPECT_EQ(xbar.responseLatency(), 4u);
+    EXPECT_DOUBLE_EQ(xbar.stats().avgQueueCycles(), 0.0);
+}
+
+TEST(CrossbarTest, SameBankSerialises)
+{
+    Crossbar xbar({.hopLatency = 4, .numBanks = 8, .bankOccupancy = 4});
+    const Cycle first = xbar.request(0, 0x0);
+    const Cycle second = xbar.request(0, 0x0 + 8 * kLineSize); // same bank 0
+    EXPECT_EQ(first, 4u);
+    EXPECT_EQ(second, 8u); // waits for bank occupancy
+    EXPECT_GT(xbar.stats().totalQueueCycles, 0u);
+}
+
+TEST(CrossbarTest, DifferentBanksDoNotContend)
+{
+    Crossbar xbar({.hopLatency = 4, .numBanks = 8, .bankOccupancy = 4});
+    const Cycle a = xbar.request(0, 0 * kLineSize);
+    const Cycle b = xbar.request(0, 1 * kLineSize);
+    const Cycle c = xbar.request(0, 2 * kLineSize);
+    EXPECT_EQ(a, 4u);
+    EXPECT_EQ(b, 4u);
+    EXPECT_EQ(c, 4u);
+    EXPECT_EQ(xbar.stats().totalQueueCycles, 0u);
+}
+
+TEST(CrossbarTest, BankFreesAfterOccupancy)
+{
+    Crossbar xbar({.hopLatency = 2, .numBanks = 4, .bankOccupancy = 10});
+    xbar.request(0, 0);             // bank busy until cycle 12
+    EXPECT_EQ(xbar.request(50, 0), 52u); // long after: no queueing
+}
+
+TEST(CrossbarTest, ZeroBanksRejected)
+{
+    EXPECT_THROW(Crossbar({.hopLatency = 4, .numBanks = 0,
+                           .bankOccupancy = 4}),
+                 FatalError);
+}
+
+TEST(CrossbarTest, StatsCount)
+{
+    Crossbar xbar({.hopLatency = 1, .numBanks = 2, .bankOccupancy = 1});
+    for (int i = 0; i < 10; ++i)
+        xbar.request(i, i * kLineSize);
+    EXPECT_EQ(xbar.stats().requests, 10u);
+    xbar.clearStats();
+    EXPECT_EQ(xbar.stats().requests, 0u);
+}
+
+} // namespace
+} // namespace smtflex

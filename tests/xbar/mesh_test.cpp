@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the 2D-mesh NoC ablation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "xbar/mesh.h"
+
+namespace smtflex {
+namespace {
+
+TEST(MeshTest, GridSideCoversCores)
+{
+    EXPECT_EQ(MeshNoc({}, 4).side(), 2u);
+    EXPECT_EQ(MeshNoc({}, 9).side(), 3u);
+    EXPECT_EQ(MeshNoc({}, 20).side(), 5u);
+    EXPECT_EQ(MeshNoc({}, 1).side(), 1u);
+}
+
+TEST(MeshTest, HopsAreManhattanPlusOne)
+{
+    // 4 cores on a 2x2 grid, 8 banks round-robin over nodes 0..3.
+    MeshNoc mesh({.hopLatency = 2, .bankOccupancy = 4, .numBanks = 8}, 4);
+    // Bank of line 0 is bank 0 at node 0. Core 0 sits on node 0.
+    EXPECT_EQ(mesh.hops(0, 0), 1u);
+    // Core 3 is at (1,1): distance 2 -> 3 hops.
+    EXPECT_EQ(mesh.hops(0, 3), 3u);
+    // Response latency is hops * hopLatency.
+    EXPECT_EQ(mesh.responseLatency(0, 3), 6u);
+}
+
+TEST(MeshTest, LargerGridsPayMoreWorstCaseHops)
+{
+    MeshNoc small({}, 4);
+    MeshNoc large({}, 20);
+    std::uint32_t worst_small = 0, worst_large = 0;
+    for (std::uint32_t c = 0; c < 4; ++c)
+        worst_small = std::max(worst_small, small.hops(0, c));
+    for (std::uint32_t c = 0; c < 20; ++c)
+        worst_large = std::max(worst_large, large.hops(0, c));
+    EXPECT_GT(worst_large, worst_small);
+}
+
+TEST(MeshTest, BankQueueingSerialises)
+{
+    MeshNoc mesh({.hopLatency = 2, .bankOccupancy = 10, .numBanks = 2}, 4);
+    const Cycle a = mesh.request(0, 0, 0);      // bank 0
+    const Cycle b = mesh.request(0, 2 * 64, 0); // also bank 0
+    EXPECT_EQ(a, 2u); // 1 hop * 2 cycles
+    EXPECT_EQ(b, 12u); // queued behind a's occupancy
+    const Cycle c = mesh.request(0, 1 * 64, 0); // bank 1: independent
+    EXPECT_EQ(c, 4u); // bank 1 at node 1: 2 hops
+}
+
+TEST(MeshTest, BadConfigRejected)
+{
+    EXPECT_THROW(MeshNoc({}, 0), FatalError);
+    MeshConfig cfg;
+    cfg.numBanks = 0;
+    EXPECT_THROW(MeshNoc(cfg, 4), FatalError);
+}
+
+} // namespace
+} // namespace smtflex

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Export the study's figure data as CSV files for external plotting
+ * (matplotlib/gnuplot). Reads the same memoised cache the benches fill,
+ * so after one full bench run this completes in seconds.
+ *
+ * Usage: export_figures [output_dir]
+ *
+ * Files written:
+ *   fig03_homogeneous.csv / fig03_heterogeneous.csv  STP vs threads
+ *   fig05_antt.csv                                   ANTT vs threads
+ *   fig08_uniform_smt.csv                            distribution scores
+ *   fig14_power.csv                                  power vs threads
+ *   fig15_pareto.csv                                 power/energy points
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/log.h"
+#include "metrics/metrics.h"
+#include "report/csv.h"
+#include "study/design_space.h"
+#include "study/study_engine.h"
+#include "workload/distributions.h"
+
+using namespace smtflex;
+
+namespace {
+
+std::ofstream
+openOut(const std::string &dir, const std::string &name)
+{
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write ", path);
+    std::printf("writing %s\n", path.c_str());
+    return out;
+}
+
+void
+exportSweep(StudyEngine &eng, const std::string &dir, bool het)
+{
+    auto out = openOut(dir, het ? "fig03_heterogeneous.csv"
+                                : "fig03_homogeneous.csv");
+    std::vector<std::string> cols = {"threads"};
+    for (const auto &name : paperDesignNames())
+        cols.push_back(name);
+    CsvWriter csv(out, cols);
+    for (const std::uint32_t n : eng.sweepThreadCounts()) {
+        auto row = csv.beginRow();
+        row.add(static_cast<std::uint64_t>(n));
+        for (const auto &name : paperDesignNames()) {
+            const RunMetrics m = het
+                ? eng.heterogeneousAt(paperDesign(name), n)
+                : eng.homogeneousAt(paperDesign(name), n);
+            row.add(m.stp);
+        }
+        row.done();
+    }
+}
+
+void
+exportAntt(StudyEngine &eng, const std::string &dir)
+{
+    auto out = openOut(dir, "fig05_antt.csv");
+    std::vector<std::string> cols = {"threads"};
+    for (const auto &name : paperDesignNames())
+        cols.push_back(name);
+    CsvWriter csv(out, cols);
+    for (const std::uint32_t n : eng.sweepThreadCounts()) {
+        auto row = csv.beginRow();
+        row.add(static_cast<std::uint64_t>(n));
+        for (const auto &name : paperDesignNames())
+            row.add(eng.homogeneousAt(paperDesign(name), n).antt);
+        row.done();
+    }
+}
+
+void
+exportUniform(StudyEngine &eng, const std::string &dir)
+{
+    auto out = openOut(dir, "fig08_uniform_smt.csv");
+    CsvWriter csv(out, {"design", "homogeneous_stp", "heterogeneous_stp"});
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+    for (const auto &name : paperDesignNames()) {
+        csv.beginRow()
+            .add(name)
+            .add(eng.distributionStp(paperDesign(name), dist, false))
+            .add(eng.distributionStp(paperDesign(name), dist, true))
+            .done();
+    }
+}
+
+void
+exportPower(StudyEngine &eng, const std::string &dir)
+{
+    auto out = openOut(dir, "fig14_power.csv");
+    std::vector<std::string> cols = {"threads"};
+    for (const auto &name : paperDesignNames())
+        cols.push_back(name);
+    CsvWriter csv(out, cols);
+    for (const std::uint32_t n : eng.sweepThreadCounts()) {
+        auto row = csv.beginRow();
+        row.add(static_cast<std::uint64_t>(n));
+        for (const auto &name : paperDesignNames())
+            row.add(eng.homogeneousAt(paperDesign(name), n).powerGatedW);
+        row.done();
+    }
+}
+
+void
+exportPareto(StudyEngine &eng, const std::string &dir)
+{
+    auto out = openOut(dir, "fig15_pareto.csv");
+    CsvWriter csv(out, {"design", "workloads", "throughput", "power_w",
+                        "energy_per_work", "edp"});
+    const auto dist = uniformThreadCounts(eng.options().maxThreads);
+    for (const bool het : {false, true}) {
+        for (const auto &name : paperDesignNames()) {
+            const double stp =
+                eng.distributionStp(paperDesign(name), dist, het);
+            const double power =
+                eng.distributionPower(paperDesign(name), dist, het);
+            csv.beginRow()
+                .add(name)
+                .add(std::string(het ? "heterogeneous" : "homogeneous"))
+                .add(stp)
+                .add(power)
+                .add(power / stp)
+                .add(energyDelayProduct(power, stp))
+                .done();
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : ".";
+    try {
+        StudyEngine eng;
+        exportSweep(eng, dir, false);
+        exportSweep(eng, dir, true);
+        exportAntt(eng, dir);
+        exportUniform(eng, dir);
+        exportPower(eng, dir);
+        exportPareto(eng, dir);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "export_figures: %s\n", e.what());
+        return 1;
+    }
+    std::printf("done.\n");
+    return 0;
+}

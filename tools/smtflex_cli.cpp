@@ -1,0 +1,390 @@
+/**
+ * @file
+ * The smtflex command-line front end: run simulations, sweeps and
+ * characterisations without writing C++.
+ *
+ *   smtflex designs
+ *   smtflex benchmarks
+ *   smtflex isolated <bench> [...]
+ *   smtflex run    --design 4B --workload mcf,hmmer,tonto [--no-smt]
+ *                  [--budget N] [--warmup N] [--seed N] [--bw GBps]
+ *                  [--prefetch] [--naive-sched]
+ *   smtflex sweep  --design 4B [--bench tonto | --het] [--no-smt]
+ *   smtflex parsec --app ferret --design 20s --threads 16 [--throttle]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "report/sim_report.h"
+#include "trace/trace_io.h"
+#include "metrics/metrics.h"
+#include "sched/scheduler.h"
+#include "sim/chip_sim.h"
+#include "sim/power_summary.h"
+#include "study/design_space.h"
+#include "study/study_engine.h"
+#include "trace/spec_profiles.h"
+#include "workload/multiprogram.h"
+#include "workload/parsec.h"
+#include "workload/parsec_runner.h"
+
+using namespace smtflex;
+
+namespace {
+
+/** Tiny flag parser: --key value and boolean --key. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                fatal("unexpected argument '", key, "'");
+            key = key.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                values_[key] = argv[i + 1];
+                ++i;
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getInt(const std::string &key, std::uint64_t fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end()
+            ? fallback
+            : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atof(it->second.c_str());
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+ChipConfig
+designFromArgs(const Args &args)
+{
+    const std::string name = args.get("design", "4B");
+    ChipConfig cfg;
+    bool found = false;
+    for (const auto &known : paperDesignNames()) {
+        if (known == name) {
+            cfg = paperDesign(name);
+            found = true;
+        }
+    }
+    for (const auto &known : alternativeDesignNames()) {
+        if (known == name) {
+            cfg = alternativeDesign(name);
+            found = true;
+        }
+    }
+    if (!found)
+        fatal("unknown design '", name, "' (see `smtflex designs`)");
+    if (args.has("no-smt"))
+        cfg = cfg.withSmt(false);
+    if (args.has("bw"))
+        cfg = cfg.withBandwidth(args.getDouble("bw", 8.0));
+    if (args.has("prefetch")) {
+        for (auto &core : cfg.cores)
+            core.dataPrefetch = true;
+    }
+    return cfg;
+}
+
+int
+cmdDesigns()
+{
+    std::printf("%-8s %6s %9s %9s  core mix\n", "name", "cores",
+                "contexts", "SMT/core");
+    auto show = [](const ChipConfig &cfg) {
+        int b = 0, m = 0, s = 0;
+        for (const auto &core : cfg.cores) {
+            b += core.type == CoreType::kBig;
+            m += core.type == CoreType::kMedium;
+            s += core.type == CoreType::kSmall;
+        }
+        std::ostringstream mix;
+        if (b)
+            mix << b << " big ";
+        if (m)
+            mix << m << " medium ";
+        if (s)
+            mix << s << " small";
+        std::printf("%-8s %6u %9u %9s  %s\n", cfg.name.c_str(),
+                    cfg.numCores(), cfg.totalContexts(), "varies",
+                    mix.str().c_str());
+    };
+    for (const auto &name : paperDesignNames())
+        show(paperDesign(name));
+    for (const auto &name : alternativeDesignNames())
+        show(alternativeDesign(name));
+    return 0;
+}
+
+int
+cmdBenchmarks()
+{
+    std::printf("single-threaded (SPEC-like), for `run`/`sweep`/`isolated`:"
+                "\n ");
+    for (const auto &name : specBenchmarkNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n\nmulti-threaded (PARSEC-like), for `parsec`:\n ");
+    for (const auto &name : parsecBenchmarkNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdIsolated(int argc, char **argv)
+{
+    StudyEngine eng;
+    std::printf("%-12s %8s %8s %8s %10s %10s\n", "bench", "big", "medium",
+                "small", "big/med", "big/small");
+    std::vector<std::string> benches;
+    for (int i = 2; i < argc; ++i)
+        benches.push_back(argv[i]);
+    if (benches.empty())
+        benches = specBenchmarkNames();
+    for (const auto &bench : benches) {
+        const double b = eng.isolatedIpc(bench, CoreType::kBig);
+        const double m = eng.isolatedIpc(bench, CoreType::kMedium);
+        const double s = eng.isolatedIpc(bench, CoreType::kSmall);
+        std::printf("%-12s %8.3f %8.3f %8.3f %10.2f %10.2f\n",
+                    bench.c_str(), b, m, s, b / m, b / s);
+    }
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const ChipConfig cfg = designFromArgs(args);
+    const std::string workload_arg = args.get("workload", "");
+    if (workload_arg.empty())
+        fatal("run: --workload bench1,bench2,... required");
+
+    MultiProgramWorkload workload;
+    workload.name = "cli";
+    std::istringstream ss(workload_arg);
+    std::string token;
+    while (std::getline(ss, token, ','))
+        workload.programs.push_back(&specProfile(token));
+
+    const auto budget = args.getInt("budget", 12'000);
+    const auto warmup = args.getInt("warmup", 3'000);
+    const auto seed = args.getInt("seed", 42);
+    const auto specs = workload.specs(budget, warmup);
+
+    StudyEngine eng;
+    const Placement placement = args.has("naive-sched")
+        ? scheduleNaive(cfg, specs.size())
+        : scheduleOffline(cfg, specs, eng.offline());
+
+    ChipSim chip(cfg);
+    const SimResult result = chip.runMultiProgram(specs, placement, seed);
+
+    std::vector<double> isolated;
+    for (const auto &spec : specs)
+        isolated.push_back(eng.isolatedIpc(spec.profile->name,
+                                           CoreType::kBig));
+
+    std::printf("design %s, %zu programs, %llu cycles (%.2f us)\n\n",
+                cfg.name.c_str(), specs.size(),
+                static_cast<unsigned long long>(result.cycles),
+                result.seconds() * 1e6);
+    std::printf("%-12s %6s %6s %10s %10s\n", "program", "core", "slot",
+                "IPC", "norm.prog");
+    const auto np = normalisedProgress(result, isolated);
+    for (std::size_t i = 0; i < result.threads.size(); ++i) {
+        std::printf("%-12s %6u %6u %10.3f %10.3f\n",
+                    result.threads[i].benchmark.c_str(),
+                    placement.entries[i].core, placement.entries[i].slot,
+                    result.threads[i].ipc(), np[i]);
+    }
+    std::printf("\nSTP %.3f | ANTT %.3f\n",
+                systemThroughput(result, isolated),
+                avgNormalisedTurnaround(result, isolated));
+    const std::string report = args.get("report", "");
+    if (report == "text") {
+        std::ostringstream os;
+        writeTextReport(os, result, eng.powerModel());
+        std::printf("\n%s", os.str().c_str());
+    } else if (report == "csv-threads") {
+        std::ostringstream os;
+        writeThreadCsv(os, result);
+        std::printf("\n%s", os.str().c_str());
+    } else if (report == "csv-cores") {
+        std::ostringstream os;
+        writeCoreCsv(os, result, eng.powerModel());
+        std::printf("\n%s", os.str().c_str());
+    } else if (!report.empty()) {
+        fatal("unknown --report kind '", report, "'");
+    }
+    const PowerSummary power =
+        summarisePower(result, eng.powerModel(), true);
+    std::printf("power %.1f W (cores %.1f static + %.1f dynamic, uncore "
+                "%.1f) | energy %.2e J\n",
+                power.avgPowerW, power.coreStaticW, power.coreDynamicW,
+                power.uncoreW, power.energyJ);
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    const ChipConfig cfg = designFromArgs(args);
+    StudyEngine eng;
+    const bool het = args.has("het");
+    const std::string bench = args.get("bench", "");
+    std::printf("%-8s %10s %10s %10s\n", "threads", "STP", "ANTT",
+                "power(W)");
+    for (const std::uint32_t n : eng.sweepThreadCounts()) {
+        if (n > cfg.totalContexts())
+            break;
+        RunMetrics m;
+        if (!bench.empty())
+            m = eng.homogeneousBenchmarkAt(cfg, bench, n);
+        else if (het)
+            m = eng.heterogeneousAt(cfg, n);
+        else
+            m = eng.homogeneousAt(cfg, n);
+        std::printf("%-8u %10.3f %10.2f %10.1f\n", n, m.stp, m.antt,
+                    m.powerGatedW);
+    }
+    return 0;
+}
+
+int
+cmdParsec(const Args &args)
+{
+    const ChipConfig cfg = designFromArgs(args);
+    const std::string app_name = args.get("app", "blackscholes");
+    const auto threads =
+        static_cast<std::uint32_t>(args.getInt("threads", 8));
+    const auto seed = args.getInt("seed", 42);
+
+    ParsecRunner runner(cfg, parsecProfile(app_name), threads, seed,
+                        args.has("throttle"));
+    const ParsecRunResult r = runner.run();
+    if (!r.completed)
+        fatal("run hit the cycle limit");
+    std::printf("%s on %s with %u threads%s\n", app_name.c_str(),
+                cfg.name.c_str(), threads,
+                args.has("throttle") ? " (critical-section throttling)"
+                                     : "");
+    std::printf("ROI    %12llu cycles\n",
+                static_cast<unsigned long long>(r.roiCycles()));
+    std::printf("total  %12llu cycles\n",
+                static_cast<unsigned long long>(r.totalCycles));
+    std::printf("\nROI active-thread distribution:\n");
+    for (std::size_t k = 0; k < r.roiActiveThreadFractions.size(); ++k) {
+        if (r.roiActiveThreadFractions[k] >= 0.005)
+            std::printf("  %2zu: %5.1f%%\n", k,
+                        100.0 * r.roiActiveThreadFractions[k]);
+    }
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    const std::string bench = args.get("bench", "");
+    const std::string out_path = args.get("out", "");
+    if (bench.empty() || out_path.empty())
+        fatal("trace: --bench and --out required");
+    const auto count = args.getInt("count", 100'000);
+    const auto seed = args.getInt("seed", 42);
+    const auto tid = static_cast<std::uint32_t>(args.getInt("thread", 0));
+
+    TraceGenerator gen(specProfile(bench), seed, tid,
+                       AddressSpace::forThread(tid));
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("trace: cannot write ", out_path);
+    writeTrace(out, gen, count);
+    std::printf("wrote %llu ops of %s (seed %llu, thread %u) to %s\n",
+                static_cast<unsigned long long>(count), bench.c_str(),
+                static_cast<unsigned long long>(seed), tid,
+                out_path.c_str());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: smtflex <command> [options]\n"
+        "  designs                       list the multi-core designs\n"
+        "  benchmarks                    list the workload models\n"
+        "  isolated [bench...]           isolated IPC per core type\n"
+        "  run    --design D --workload a,b,c [--no-smt] [--budget N]\n"
+        "         [--warmup N] [--seed N] [--bw G] [--prefetch]\n"
+        "         [--naive-sched] [--report text|csv-threads|csv-cores]\n"
+        "  sweep  --design D [--bench b | --het] [--no-smt] [--bw G]\n"
+        "  parsec --app A --design D --threads N [--throttle] [--no-smt]\n"
+        "  trace  --bench b --out file [--count N] [--seed N]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "designs")
+            return cmdDesigns();
+        if (cmd == "benchmarks")
+            return cmdBenchmarks();
+        if (cmd == "isolated")
+            return cmdIsolated(argc, argv);
+        const Args args(argc, argv, 2);
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
+        if (cmd == "parsec")
+            return cmdParsec(args);
+        if (cmd == "trace")
+            return cmdTrace(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "smtflex: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
