@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_acs_throttling.dir/ext_acs_throttling.cpp.o"
+  "CMakeFiles/bench_ext_acs_throttling.dir/ext_acs_throttling.cpp.o.d"
+  "bench_ext_acs_throttling"
+  "bench_ext_acs_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_acs_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

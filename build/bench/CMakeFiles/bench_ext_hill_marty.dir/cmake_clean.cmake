@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hill_marty.dir/ext_hill_marty.cpp.o"
+  "CMakeFiles/bench_ext_hill_marty.dir/ext_hill_marty.cpp.o.d"
+  "bench_ext_hill_marty"
+  "bench_ext_hill_marty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hill_marty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

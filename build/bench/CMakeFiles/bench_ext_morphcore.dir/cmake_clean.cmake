@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_morphcore.dir/ext_morphcore.cpp.o"
+  "CMakeFiles/bench_ext_morphcore.dir/ext_morphcore.cpp.o.d"
+  "bench_ext_morphcore"
+  "bench_ext_morphcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_morphcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

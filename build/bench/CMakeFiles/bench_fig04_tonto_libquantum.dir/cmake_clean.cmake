@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_tonto_libquantum.dir/fig04_tonto_libquantum.cpp.o"
+  "CMakeFiles/bench_fig04_tonto_libquantum.dir/fig04_tonto_libquantum.cpp.o.d"
+  "bench_fig04_tonto_libquantum"
+  "bench_fig04_tonto_libquantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_tonto_libquantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_antt.dir/fig05_antt.cpp.o"
+  "CMakeFiles/bench_fig05_antt.dir/fig05_antt.cpp.o.d"
+  "bench_fig05_antt"
+  "bench_fig05_antt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_antt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

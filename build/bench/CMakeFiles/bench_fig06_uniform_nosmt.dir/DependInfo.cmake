@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_uniform_nosmt.cpp" "bench/CMakeFiles/bench_fig06_uniform_nosmt.dir/fig06_uniform_nosmt.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06_uniform_nosmt.dir/fig06_uniform_nosmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/smtflex_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smtflex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smtflex_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/smtflex_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smtflex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/smtflex_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/smtflex_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/smtflex_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/smtflex_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/smtflex_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/smtflex_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/smtflex_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_uniform_nosmt.dir/fig06_uniform_nosmt.cpp.o"
+  "CMakeFiles/bench_fig06_uniform_nosmt.dir/fig06_uniform_nosmt.cpp.o.d"
+  "bench_fig06_uniform_nosmt"
+  "bench_fig06_uniform_nosmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_uniform_nosmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

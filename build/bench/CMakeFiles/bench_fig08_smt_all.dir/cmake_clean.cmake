@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_smt_all.dir/fig08_smt_all.cpp.o"
+  "CMakeFiles/bench_fig08_smt_all.dir/fig08_smt_all.cpp.o.d"
+  "bench_fig08_smt_all"
+  "bench_fig08_smt_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_smt_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

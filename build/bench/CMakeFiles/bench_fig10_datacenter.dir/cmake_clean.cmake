@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_datacenter.dir/fig10_datacenter.cpp.o"
+  "CMakeFiles/bench_fig10_datacenter.dir/fig10_datacenter.cpp.o.d"
+  "bench_fig10_datacenter"
+  "bench_fig10_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_parsec_avg.dir/fig11_parsec_avg.cpp.o"
+  "CMakeFiles/bench_fig11_parsec_avg.dir/fig11_parsec_avg.cpp.o.d"
+  "bench_fig11_parsec_avg"
+  "bench_fig11_parsec_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_parsec_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

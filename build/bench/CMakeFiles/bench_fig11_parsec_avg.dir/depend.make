@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_parsec_avg.
+# This may be replaced when dependencies are built.

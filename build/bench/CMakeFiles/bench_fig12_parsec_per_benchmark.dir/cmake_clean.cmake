@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_parsec_per_benchmark.dir/fig12_parsec_per_benchmark.cpp.o"
+  "CMakeFiles/bench_fig12_parsec_per_benchmark.dir/fig12_parsec_per_benchmark.cpp.o.d"
+  "bench_fig12_parsec_per_benchmark"
+  "bench_fig12_parsec_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_parsec_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_power_vs_threads.dir/fig14_power_vs_threads.cpp.o"
+  "CMakeFiles/bench_fig14_power_vs_threads.dir/fig14_power_vs_threads.cpp.o.d"
+  "bench_fig14_power_vs_threads"
+  "bench_fig14_power_vs_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_power_vs_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

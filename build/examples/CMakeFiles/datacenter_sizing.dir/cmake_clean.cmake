@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_sizing.dir/datacenter_sizing.cpp.o"
+  "CMakeFiles/datacenter_sizing.dir/datacenter_sizing.cpp.o.d"
+  "datacenter_sizing"
+  "datacenter_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

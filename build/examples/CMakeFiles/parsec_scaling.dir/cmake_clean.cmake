@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_scaling.dir/parsec_scaling.cpp.o"
+  "CMakeFiles/parsec_scaling.dir/parsec_scaling.cpp.o.d"
+  "parsec_scaling"
+  "parsec_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_flexibility.dir/smt_flexibility.cpp.o"
+  "CMakeFiles/smt_flexibility.dir/smt_flexibility.cpp.o.d"
+  "smt_flexibility"
+  "smt_flexibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("analytic")
+subdirs("common")
+subdirs("trace")
+subdirs("cache")
+subdirs("xbar")
+subdirs("dram")
+subdirs("uarch")
+subdirs("power")
+subdirs("sim")
+subdirs("metrics")
+subdirs("sched")
+subdirs("workload")
+subdirs("report")
+subdirs("study")

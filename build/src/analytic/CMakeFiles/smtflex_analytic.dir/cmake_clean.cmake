@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_analytic.dir/hill_marty.cpp.o"
+  "CMakeFiles/smtflex_analytic.dir/hill_marty.cpp.o.d"
+  "libsmtflex_analytic.a"
+  "libsmtflex_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

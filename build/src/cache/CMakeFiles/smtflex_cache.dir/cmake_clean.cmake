@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_cache.dir/cache.cpp.o"
+  "CMakeFiles/smtflex_cache.dir/cache.cpp.o.d"
+  "libsmtflex_cache.a"
+  "libsmtflex_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_common.dir/log.cpp.o"
+  "CMakeFiles/smtflex_common.dir/log.cpp.o.d"
+  "CMakeFiles/smtflex_common.dir/rng.cpp.o"
+  "CMakeFiles/smtflex_common.dir/rng.cpp.o.d"
+  "CMakeFiles/smtflex_common.dir/stats.cpp.o"
+  "CMakeFiles/smtflex_common.dir/stats.cpp.o.d"
+  "libsmtflex_common.a"
+  "libsmtflex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_dram.dir/dram.cpp.o"
+  "CMakeFiles/smtflex_dram.dir/dram.cpp.o.d"
+  "libsmtflex_dram.a"
+  "libsmtflex_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

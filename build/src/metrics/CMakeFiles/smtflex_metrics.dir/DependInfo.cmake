@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/metrics.cpp" "src/metrics/CMakeFiles/smtflex_metrics.dir/metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/smtflex_metrics.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smtflex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtflex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/smtflex_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/smtflex_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/smtflex_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/smtflex_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/smtflex_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/smtflex_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

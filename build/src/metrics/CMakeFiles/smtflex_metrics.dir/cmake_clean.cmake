@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/smtflex_metrics.dir/metrics.cpp.o.d"
+  "libsmtflex_metrics.a"
+  "libsmtflex_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_power.dir/power_model.cpp.o"
+  "CMakeFiles/smtflex_power.dir/power_model.cpp.o.d"
+  "libsmtflex_power.a"
+  "libsmtflex_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

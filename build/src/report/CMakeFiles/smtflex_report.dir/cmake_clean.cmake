@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_report.dir/csv.cpp.o"
+  "CMakeFiles/smtflex_report.dir/csv.cpp.o.d"
+  "CMakeFiles/smtflex_report.dir/sim_report.cpp.o"
+  "CMakeFiles/smtflex_report.dir/sim_report.cpp.o.d"
+  "libsmtflex_report.a"
+  "libsmtflex_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/smtflex_sched.dir/scheduler.cpp.o.d"
+  "libsmtflex_sched.a"
+  "libsmtflex_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

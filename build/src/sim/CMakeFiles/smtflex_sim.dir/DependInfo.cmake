@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chip_config.cpp" "src/sim/CMakeFiles/smtflex_sim.dir/chip_config.cpp.o" "gcc" "src/sim/CMakeFiles/smtflex_sim.dir/chip_config.cpp.o.d"
+  "/root/repo/src/sim/chip_sim.cpp" "src/sim/CMakeFiles/smtflex_sim.dir/chip_sim.cpp.o" "gcc" "src/sim/CMakeFiles/smtflex_sim.dir/chip_sim.cpp.o.d"
+  "/root/repo/src/sim/power_summary.cpp" "src/sim/CMakeFiles/smtflex_sim.dir/power_summary.cpp.o" "gcc" "src/sim/CMakeFiles/smtflex_sim.dir/power_summary.cpp.o.d"
+  "/root/repo/src/sim/shared_memory.cpp" "src/sim/CMakeFiles/smtflex_sim.dir/shared_memory.cpp.o" "gcc" "src/sim/CMakeFiles/smtflex_sim.dir/shared_memory.cpp.o.d"
+  "/root/repo/src/sim/sim_thread.cpp" "src/sim/CMakeFiles/smtflex_sim.dir/sim_thread.cpp.o" "gcc" "src/sim/CMakeFiles/smtflex_sim.dir/sim_thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/smtflex_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/smtflex_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/smtflex_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/smtflex_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/smtflex_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/smtflex_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_sim.dir/chip_config.cpp.o"
+  "CMakeFiles/smtflex_sim.dir/chip_config.cpp.o.d"
+  "CMakeFiles/smtflex_sim.dir/chip_sim.cpp.o"
+  "CMakeFiles/smtflex_sim.dir/chip_sim.cpp.o.d"
+  "CMakeFiles/smtflex_sim.dir/power_summary.cpp.o"
+  "CMakeFiles/smtflex_sim.dir/power_summary.cpp.o.d"
+  "CMakeFiles/smtflex_sim.dir/shared_memory.cpp.o"
+  "CMakeFiles/smtflex_sim.dir/shared_memory.cpp.o.d"
+  "CMakeFiles/smtflex_sim.dir/sim_thread.cpp.o"
+  "CMakeFiles/smtflex_sim.dir/sim_thread.cpp.o.d"
+  "libsmtflex_sim.a"
+  "libsmtflex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

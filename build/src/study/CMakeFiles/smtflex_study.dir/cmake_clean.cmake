@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_study.dir/design_space.cpp.o"
+  "CMakeFiles/smtflex_study.dir/design_space.cpp.o.d"
+  "CMakeFiles/smtflex_study.dir/result_cache.cpp.o"
+  "CMakeFiles/smtflex_study.dir/result_cache.cpp.o.d"
+  "CMakeFiles/smtflex_study.dir/selection.cpp.o"
+  "CMakeFiles/smtflex_study.dir/selection.cpp.o.d"
+  "CMakeFiles/smtflex_study.dir/study_engine.cpp.o"
+  "CMakeFiles/smtflex_study.dir/study_engine.cpp.o.d"
+  "libsmtflex_study.a"
+  "libsmtflex_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_trace.dir/profile.cpp.o"
+  "CMakeFiles/smtflex_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/smtflex_trace.dir/spec_profiles.cpp.o"
+  "CMakeFiles/smtflex_trace.dir/spec_profiles.cpp.o.d"
+  "CMakeFiles/smtflex_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/smtflex_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/smtflex_trace.dir/tracegen.cpp.o"
+  "CMakeFiles/smtflex_trace.dir/tracegen.cpp.o.d"
+  "libsmtflex_trace.a"
+  "libsmtflex_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/core.cpp" "src/uarch/CMakeFiles/smtflex_uarch.dir/core.cpp.o" "gcc" "src/uarch/CMakeFiles/smtflex_uarch.dir/core.cpp.o.d"
+  "/root/repo/src/uarch/core_params.cpp" "src/uarch/CMakeFiles/smtflex_uarch.dir/core_params.cpp.o" "gcc" "src/uarch/CMakeFiles/smtflex_uarch.dir/core_params.cpp.o.d"
+  "/root/repo/src/uarch/inorder_core.cpp" "src/uarch/CMakeFiles/smtflex_uarch.dir/inorder_core.cpp.o" "gcc" "src/uarch/CMakeFiles/smtflex_uarch.dir/inorder_core.cpp.o.d"
+  "/root/repo/src/uarch/morph_core.cpp" "src/uarch/CMakeFiles/smtflex_uarch.dir/morph_core.cpp.o" "gcc" "src/uarch/CMakeFiles/smtflex_uarch.dir/morph_core.cpp.o.d"
+  "/root/repo/src/uarch/ooo_core.cpp" "src/uarch/CMakeFiles/smtflex_uarch.dir/ooo_core.cpp.o" "gcc" "src/uarch/CMakeFiles/smtflex_uarch.dir/ooo_core.cpp.o.d"
+  "/root/repo/src/uarch/private_hierarchy.cpp" "src/uarch/CMakeFiles/smtflex_uarch.dir/private_hierarchy.cpp.o" "gcc" "src/uarch/CMakeFiles/smtflex_uarch.dir/private_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/smtflex_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/smtflex_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_uarch.dir/core.cpp.o"
+  "CMakeFiles/smtflex_uarch.dir/core.cpp.o.d"
+  "CMakeFiles/smtflex_uarch.dir/core_params.cpp.o"
+  "CMakeFiles/smtflex_uarch.dir/core_params.cpp.o.d"
+  "CMakeFiles/smtflex_uarch.dir/inorder_core.cpp.o"
+  "CMakeFiles/smtflex_uarch.dir/inorder_core.cpp.o.d"
+  "CMakeFiles/smtflex_uarch.dir/morph_core.cpp.o"
+  "CMakeFiles/smtflex_uarch.dir/morph_core.cpp.o.d"
+  "CMakeFiles/smtflex_uarch.dir/ooo_core.cpp.o"
+  "CMakeFiles/smtflex_uarch.dir/ooo_core.cpp.o.d"
+  "CMakeFiles/smtflex_uarch.dir/private_hierarchy.cpp.o"
+  "CMakeFiles/smtflex_uarch.dir/private_hierarchy.cpp.o.d"
+  "libsmtflex_uarch.a"
+  "libsmtflex_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_workload.dir/distributions.cpp.o"
+  "CMakeFiles/smtflex_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/smtflex_workload.dir/multiprogram.cpp.o"
+  "CMakeFiles/smtflex_workload.dir/multiprogram.cpp.o.d"
+  "CMakeFiles/smtflex_workload.dir/parsec_profiles.cpp.o"
+  "CMakeFiles/smtflex_workload.dir/parsec_profiles.cpp.o.d"
+  "CMakeFiles/smtflex_workload.dir/parsec_runner.cpp.o"
+  "CMakeFiles/smtflex_workload.dir/parsec_runner.cpp.o.d"
+  "libsmtflex_workload.a"
+  "libsmtflex_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

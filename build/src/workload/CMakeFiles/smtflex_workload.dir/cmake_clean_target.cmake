@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmtflex_workload.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex_xbar.dir/crossbar.cpp.o"
+  "CMakeFiles/smtflex_xbar.dir/crossbar.cpp.o.d"
+  "CMakeFiles/smtflex_xbar.dir/mesh.cpp.o"
+  "CMakeFiles/smtflex_xbar.dir/mesh.cpp.o.d"
+  "libsmtflex_xbar.a"
+  "libsmtflex_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

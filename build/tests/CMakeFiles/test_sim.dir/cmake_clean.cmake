@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/chip_config_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/chip_config_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/chip_sim_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/chip_sim_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/power_summary_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/power_summary_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/shared_memory_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/shared_memory_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/sim_thread_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/sim_thread_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study.dir/study/design_space_test.cpp.o"
+  "CMakeFiles/test_study.dir/study/design_space_test.cpp.o.d"
+  "CMakeFiles/test_study.dir/study/design_sweep_test.cpp.o"
+  "CMakeFiles/test_study.dir/study/design_sweep_test.cpp.o.d"
+  "CMakeFiles/test_study.dir/study/result_cache_test.cpp.o"
+  "CMakeFiles/test_study.dir/study/result_cache_test.cpp.o.d"
+  "CMakeFiles/test_study.dir/study/selection_test.cpp.o"
+  "CMakeFiles/test_study.dir/study/selection_test.cpp.o.d"
+  "CMakeFiles/test_study.dir/study/study_engine_test.cpp.o"
+  "CMakeFiles/test_study.dir/study/study_engine_test.cpp.o.d"
+  "test_study"
+  "test_study.pdb"
+  "test_study[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/uarch/core_params_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/core_params_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/inorder_core_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/inorder_core_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/morph_core_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/morph_core_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/ooo_core_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/ooo_core_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/private_hierarchy_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/private_hierarchy_test.cpp.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+  "test_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

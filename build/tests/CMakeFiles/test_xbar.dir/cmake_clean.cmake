@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar.dir/xbar/crossbar_test.cpp.o"
+  "CMakeFiles/test_xbar.dir/xbar/crossbar_test.cpp.o.d"
+  "CMakeFiles/test_xbar.dir/xbar/mesh_test.cpp.o"
+  "CMakeFiles/test_xbar.dir/xbar/mesh_test.cpp.o.d"
+  "test_xbar"
+  "test_xbar.pdb"
+  "test_xbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

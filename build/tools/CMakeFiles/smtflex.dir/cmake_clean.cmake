@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtflex.dir/smtflex_cli.cpp.o"
+  "CMakeFiles/smtflex.dir/smtflex_cli.cpp.o.d"
+  "smtflex"
+  "smtflex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtflex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
