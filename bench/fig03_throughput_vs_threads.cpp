@@ -27,15 +27,20 @@ sweep(StudyEngine &eng, bool heterogeneous)
     for (const auto &name : names)
         std::printf("%9s", name.c_str());
     std::printf("\n");
-    for (const std::uint32_t n : eng.sweepThreadCounts()) {
-        std::printf("%-8u", n);
-        for (const auto &name : names) {
-            const ChipConfig cfg = paperDesign(name);
-            const RunMetrics m = heterogeneous
-                ? eng.heterogeneousAt(cfg, n)
-                : eng.homogeneousAt(cfg, n);
-            std::printf("%9.3f", m.stp);
-        }
+    // Flatten the (thread count x design) grid into independent runs.
+    const auto counts = eng.sweepThreadCounts();
+    exec::ExperimentRunner runner;
+    const auto grid = runner.map(counts.size() * names.size(),
+                                 [&](std::size_t i) {
+        const std::uint32_t n = counts[i / names.size()];
+        const ChipConfig cfg = paperDesign(names[i % names.size()]);
+        return heterogeneous ? eng.heterogeneousAt(cfg, n).stp
+                             : eng.homogeneousAt(cfg, n).stp;
+    });
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+        std::printf("%-8u", counts[r]);
+        for (std::size_t c = 0; c < names.size(); ++c)
+            std::printf("%9.3f", grid[r * names.size() + c]);
         std::printf("\n");
     }
     std::printf("\n");

@@ -27,13 +27,14 @@ main()
     for (const bool het : {false, true}) {
         std::printf("(%s workloads)\n", het ? "heterogeneous"
                                             : "homogeneous");
-        std::vector<double> scores;
-        for (const auto &name : paperDesignNames()) {
-            const ChipConfig cfg = paperDesign(name).withSmt(false);
-            const double stp = eng.distributionStp(cfg, dist, het);
-            scores.push_back(stp);
-            std::printf("  %-6s %8.3f\n", name.c_str(), stp);
-        }
+        const std::vector<double> scores =
+            benchutil::mapNames(paperDesignNames(), [&](const auto &name) {
+                return eng.distributionStp(paperDesign(name).withSmt(false),
+                                           dist, het);
+            });
+        for (std::size_t i = 0; i < scores.size(); ++i)
+            std::printf("  %-6s %8.3f\n", paperDesignNames()[i].c_str(),
+                        scores[i]);
         const std::size_t best = benchutil::argmax(scores);
         std::printf("  best without SMT: %s (paper: %s)\n\n",
                     paperDesignNames()[best].c_str(),

@@ -31,15 +31,20 @@ main()
     for (const bool het : {false, true}) {
         std::printf("(%s workloads)\n", het ? "heterogeneous"
                                             : "homogeneous");
-        std::vector<double> scores;
-        for (const auto &name : paperDesignNames()) {
+        const std::vector<double> scores =
+            benchutil::mapNames(paperDesignNames(), [&](const auto &name) {
+                const bool smt = std::find(homogeneous.begin(),
+                                           homogeneous.end(),
+                                           name) != homogeneous.end();
+                return eng.distributionStp(paperDesign(name).withSmt(smt),
+                                           dist, het);
+            });
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            const auto &name = paperDesignNames()[i];
             const bool smt = std::find(homogeneous.begin(),
                                        homogeneous.end(),
                                        name) != homogeneous.end();
-            const ChipConfig cfg = paperDesign(name).withSmt(smt);
-            const double stp = eng.distributionStp(cfg, dist, het);
-            scores.push_back(stp);
-            std::printf("  %-6s %8.3f%s\n", name.c_str(), stp,
+            std::printf("  %-6s %8.3f%s\n", name.c_str(), scores[i],
                         smt ? "  (SMT)" : "");
         }
         const std::size_t best = benchutil::argmax(scores);

@@ -28,15 +28,18 @@ main()
     for (const bool het : {false, true}) {
         std::printf("(%s workloads)\n", het ? "heterogeneous"
                                             : "homogeneous");
-        std::vector<double> scores;
+        // The nine designs are independent sweeps: fan them out across the
+        // experiment engine and print once all have landed.
+        const std::vector<double> scores =
+            benchutil::mapNames(paperDesignNames(), [&](const auto &name) {
+                return eng.distributionStp(paperDesign(name), dist, het);
+            });
         double v4b = 0.0;
-        for (const auto &name : paperDesignNames()) {
-            const double stp =
-                eng.distributionStp(paperDesign(name), dist, het);
-            scores.push_back(stp);
-            if (name == "4B")
-                v4b = stp;
-            std::printf("  %-6s %8.3f\n", name.c_str(), stp);
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            if (paperDesignNames()[i] == "4B")
+                v4b = scores[i];
+            std::printf("  %-6s %8.3f\n", paperDesignNames()[i].c_str(),
+                        scores[i]);
         }
         const std::size_t best = benchutil::argmax(scores);
         std::printf("  best: %s; 4B at %.1f%% of best (paper: best "

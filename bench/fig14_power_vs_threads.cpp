@@ -28,11 +28,21 @@ main()
     for (const auto &name : paperDesignNames())
         std::printf("%9s", name.c_str());
     std::printf("\n");
-    for (const std::uint32_t n : eng.sweepThreadCounts()) {
-        std::printf("%-8u", n);
-        for (const auto &name : paperDesignNames())
-            std::printf("%9.1f",
-                        eng.homogeneousAt(paperDesign(name), n).powerGatedW);
+    // The whole (thread count x design) grid is independent runs: flatten
+    // it through the experiment engine, then print in row order.
+    const auto counts = eng.sweepThreadCounts();
+    const auto &names = paperDesignNames();
+    exec::ExperimentRunner runner;
+    const auto grid = runner.map(counts.size() * names.size(),
+                                 [&](std::size_t i) {
+        const std::uint32_t n = counts[i / names.size()];
+        const auto &name = names[i % names.size()];
+        return eng.homogeneousAt(paperDesign(name), n).powerGatedW;
+    });
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+        std::printf("%-8u", counts[r]);
+        for (std::size_t c = 0; c < names.size(); ++c)
+            std::printf("%9.1f", grid[r * names.size() + c]);
         std::printf("\n");
     }
 

@@ -46,18 +46,26 @@ main()
     const std::vector<std::string> baselines = {"4B", "8m", "20s"};
     std::printf("baselines:\n");
     double v8m = 0, v20s = 0;
-    for (const auto &name : baselines) {
-        const double s = avgRoiSpeedup(eng, paperDesign(name));
-        if (name == "8m")
-            v8m = s;
-        if (name == "20s")
-            v20s = s;
-        std::printf("  %-7s %8.3f\n", name.c_str(), s);
+    const auto base_scores =
+        benchutil::mapNames(baselines, [&](const auto &name) {
+            return avgRoiSpeedup(eng, paperDesign(name));
+        });
+    for (std::size_t i = 0; i < baselines.size(); ++i) {
+        if (baselines[i] == "8m")
+            v8m = base_scores[i];
+        if (baselines[i] == "20s")
+            v20s = base_scores[i];
+        std::printf("  %-7s %8.3f\n", baselines[i].c_str(), base_scores[i]);
     }
     std::printf("variants:\n");
     double m_lc = 0, s_lc = 0, m_hf = 0, s_hf = 0;
-    for (const auto &name : alternativeDesignNames()) {
-        const double s = avgRoiSpeedup(eng, alternativeDesign(name));
+    const auto var_scores =
+        benchutil::mapNames(alternativeDesignNames(), [&](const auto &name) {
+            return avgRoiSpeedup(eng, alternativeDesign(name));
+        });
+    for (std::size_t i = 0; i < alternativeDesignNames().size(); ++i) {
+        const auto &name = alternativeDesignNames()[i];
+        const double s = var_scores[i];
         if (name == "6m_lc")
             m_lc = s;
         if (name == "16s_lc")

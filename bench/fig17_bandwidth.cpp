@@ -31,15 +31,16 @@ main()
     for (const bool het : {false, true}) {
         std::printf("(multi-program, %s workloads, SMT everywhere)\n",
                     het ? "heterogeneous" : "homogeneous");
-        std::vector<double> scores;
+        const std::vector<double> scores =
+            benchutil::mapNames(paperDesignNames(), [&](const auto &name) {
+                return eng.distributionStp(paperDesign(name), dist, het);
+            });
         double v4b = 0.0;
-        for (const auto &name : paperDesignNames()) {
-            const double stp =
-                eng.distributionStp(paperDesign(name), dist, het);
-            scores.push_back(stp);
-            if (name == "4B")
-                v4b = stp;
-            std::printf("  %-6s %8.3f\n", name.c_str(), stp);
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            if (paperDesignNames()[i] == "4B")
+                v4b = scores[i];
+            std::printf("  %-6s %8.3f\n", paperDesignNames()[i].c_str(),
+                        scores[i]);
         }
         const std::size_t best = benchutil::argmax(scores);
         std::printf("  best: %s; 4B at %.1f%% of best (paper: within "
@@ -52,23 +53,24 @@ main()
     for (const bool roi : {true, false}) {
         std::printf("(PARSEC, %s, SMT)\n", roi ? "ROI only"
                                                : "whole program");
-        std::vector<double> scores;
         const std::vector<std::string> configs = {"4B", "8m", "20s",
                                                   "1B6m", "1B15s"};
-        for (const auto &name : configs) {
-            std::vector<double> speedups;
-            for (const auto &bench : parsecBenchmarkNames()) {
-                const ParsecMetrics base =
-                    eng.parsec(paperDesign("4B"), bench, 4);
-                const double base_cycles =
-                    roi ? base.roiCycles : base.totalCycles;
-                speedups.push_back(base_cycles /
-                                   eng.bestParsecCycles(paperDesign(name),
-                                                        bench, roi));
-            }
-            scores.push_back(harmonicMean(speedups));
-            std::printf("  %-6s %8.3f\n", name.c_str(), scores.back());
-        }
+        const std::vector<double> scores =
+            benchutil::mapNames(configs, [&](const auto &name) {
+                std::vector<double> speedups;
+                for (const auto &bench : parsecBenchmarkNames()) {
+                    const ParsecMetrics base =
+                        eng.parsec(paperDesign("4B"), bench, 4);
+                    const double base_cycles =
+                        roi ? base.roiCycles : base.totalCycles;
+                    speedups.push_back(
+                        base_cycles /
+                        eng.bestParsecCycles(paperDesign(name), bench, roi));
+                }
+                return harmonicMean(speedups);
+            });
+        for (std::size_t i = 0; i < scores.size(); ++i)
+            std::printf("  %-6s %8.3f\n", configs[i].c_str(), scores[i]);
         std::printf("  best: %s\n\n",
                     configs[benchutil::argmax(scores)].c_str());
     }

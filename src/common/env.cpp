@@ -1,0 +1,92 @@
+#include "env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace smtflex {
+
+std::optional<std::string>
+envRaw(const char *name)
+{
+    if (const char *value = std::getenv(name))
+        return std::string(value);
+    return std::nullopt;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const auto raw = envRaw(name);
+    return raw ? *raw : fallback;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const auto raw = envRaw(name);
+    if (!raw)
+        return fallback;
+    const std::string &text = *raw;
+    if (text.empty() || text[0] == '-' ||
+        !std::isdigit(static_cast<unsigned char>(text[0])))
+        fatal(name, ": expected a non-negative integer, got '", text, "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE)
+        fatal(name, ": value '", text, "' out of range");
+    if (end == nullptr || *end != '\0')
+        fatal(name, ": trailing junk in '", text, "'");
+    return static_cast<std::uint64_t>(value);
+}
+
+std::uint32_t
+envU32(const char *name, std::uint32_t fallback)
+{
+    const std::uint64_t value = envU64(name, fallback);
+    if (value > UINT32_MAX)
+        fatal(name, ": value ", value, " out of 32-bit range");
+    return static_cast<std::uint32_t>(value);
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const auto raw = envRaw(name);
+    if (!raw)
+        return fallback;
+    const std::string &text = *raw;
+    if (text.empty())
+        fatal(name, ": expected a number, got an empty string");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE)
+        fatal(name, ": value '", text, "' out of range");
+    if (end == nullptr || *end != '\0')
+        fatal(name, ": trailing junk in '", text, "'");
+    return value;
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const auto raw = envRaw(name);
+    if (!raw)
+        return fallback;
+    std::string text = *raw;
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (text == "1" || text == "true" || text == "on" || text == "yes")
+        return true;
+    if (text.empty() || text == "0" || text == "false" || text == "off" ||
+        text == "no")
+        return false;
+    fatal(name, ": expected a boolean flag, got '", *raw, "'");
+}
+
+} // namespace smtflex

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Typed access to SMTFLEX_* environment variables.
+ *
+ * Every subsystem that reads configuration from the environment goes
+ * through these helpers instead of raw std::getenv + atoi: malformed
+ * values (empty, trailing junk, out of range) are a user error and
+ * fatal() with the variable name, rather than silently parsing to 0.
+ */
+
+#ifndef SMTFLEX_COMMON_ENV_H
+#define SMTFLEX_COMMON_ENV_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace smtflex {
+
+/** Raw value of @p name, or nullopt when unset. */
+std::optional<std::string> envRaw(const char *name);
+
+/** String value of @p name, or @p fallback when unset. */
+std::string envString(const char *name, const std::string &fallback);
+
+/** Unsigned integer value of @p name; fatal() on malformed values
+ * (non-numeric, negative, trailing junk, overflow). */
+std::uint64_t envU64(const char *name, std::uint64_t fallback);
+
+/** Like envU64 but range-checked to 32 bits. */
+std::uint32_t envU32(const char *name, std::uint32_t fallback);
+
+/** Floating-point value of @p name; fatal() on malformed values. */
+double envDouble(const char *name, double fallback);
+
+/**
+ * Boolean flag: 1/true/on/yes enable, 0/false/off/no and the empty string
+ * disable; anything else is fatal(). Matching is case-insensitive.
+ */
+bool envFlag(const char *name, bool fallback);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_COMMON_ENV_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ExperimentRunner: map a batch of independent experiments across the
+ * ThreadPool with deterministic result ordering. Result i is whatever
+ * fn(i) returned, landed by task index — the output is identical for any
+ * worker count or steal order, which is what makes SMTFLEX_JOBS=1 and
+ * SMTFLEX_JOBS=N produce byte-identical figure output (the simulations
+ * themselves are deterministic functions of their inputs).
+ */
+
+#ifndef SMTFLEX_EXEC_EXPERIMENT_RUNNER_H
+#define SMTFLEX_EXEC_EXPERIMENT_RUNNER_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+
+namespace smtflex {
+namespace exec {
+
+class ExperimentRunner
+{
+  public:
+    /** Run experiments on @p pool (nullptr = the global pool). */
+    explicit ExperimentRunner(ThreadPool *pool = nullptr) : pool_(pool) {}
+
+    /**
+     * Evaluate fn(0..n-1) — one task per experiment, so the pool balances
+     * even when experiment costs vary wildly — and return the results in
+     * index order. R must be default-constructible.
+     */
+    template <typename Fn>
+    auto map(std::size_t n, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        using R = decltype(fn(std::size_t{0}));
+        std::vector<R> results(n);
+        parallel_for(
+            0, n, [&](std::size_t i) { results[i] = fn(i); },
+            /*grain=*/1, pool_);
+        return results;
+    }
+
+    /** Map over @p items; result i corresponds to items[i]. */
+    template <typename T, typename Fn>
+    auto mapItems(const std::vector<T> &items, Fn &&fn)
+        -> std::vector<decltype(fn(std::declval<const T &>()))>
+    {
+        return map(items.size(),
+                   [&](std::size_t i) { return fn(items[i]); });
+    }
+
+  private:
+    ThreadPool *pool_;
+};
+
+} // namespace exec
+} // namespace smtflex
+
+#endif // SMTFLEX_EXEC_EXPERIMENT_RUNNER_H

@@ -1,0 +1,57 @@
+#include "parallel.h"
+
+#include <algorithm>
+
+namespace smtflex {
+namespace exec {
+
+void
+parallel_for(std::size_t begin, std::size_t end,
+             const std::function<void(std::size_t)> &fn, std::size_t grain,
+             ThreadPool *pool)
+{
+    if (begin >= end)
+        return;
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    const std::size_t n = end - begin;
+    if (p.workerCount() == 0 || n == 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+    if (grain == 0) {
+        // Aim for a few chunks per worker so stealing can balance load
+        // without drowning in per-task overhead.
+        grain = std::max<std::size_t>(1, n / (4 * p.concurrency()));
+    }
+    TaskGroup group(p);
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+        const std::size_t hi = std::min(end, lo + grain);
+        group.run([&fn, lo, hi] {
+            for (std::size_t i = lo; i < hi; ++i)
+                fn(i);
+        });
+    }
+    group.wait();
+}
+
+void
+par_do(const std::function<void()> &left, const std::function<void()> &right,
+       ThreadPool *pool)
+{
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    if (p.workerCount() == 0) {
+        left();
+        right();
+        return;
+    }
+    TaskGroup group(p);
+    group.run(left);
+    // Run the right branch on the calling thread; wait() then helps with
+    // the left branch if no worker picked it up.
+    right();
+    group.wait();
+}
+
+} // namespace exec
+} // namespace smtflex

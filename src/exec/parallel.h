@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structured parallel primitives over the work-stealing ThreadPool:
+ * parallel_for over an index range and par_do for two-way forks. Both
+ * block until the work completes and rethrow the first task exception,
+ * so call sites read like their serial equivalents. On a pool without
+ * workers (SMTFLEX_JOBS=1) they degrade to plain loops/calls.
+ */
+
+#ifndef SMTFLEX_EXEC_PARALLEL_H
+#define SMTFLEX_EXEC_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/thread_pool.h"
+
+namespace smtflex {
+namespace exec {
+
+/**
+ * Run fn(i) for every i in [begin, end). Iterations are grouped into
+ * chunks of @p grain (0 = pick automatically from the pool width) and
+ * executed on @p pool (nullptr = the global pool). Iteration order inside
+ * a chunk is ascending; chunks run in any order, so the body must only
+ * touch per-index state.
+ */
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)> &fn,
+                  std::size_t grain = 0, ThreadPool *pool = nullptr);
+
+/** Run two independent thunks, potentially in parallel. */
+void par_do(const std::function<void()> &left,
+            const std::function<void()> &right, ThreadPool *pool = nullptr);
+
+} // namespace exec
+} // namespace smtflex
+
+#endif // SMTFLEX_EXEC_PARALLEL_H

@@ -1,6 +1,7 @@
 #include "result_cache.h"
 
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "common/log.h"
@@ -9,16 +10,91 @@ namespace smtflex {
 
 ResultCache::ResultCache(std::string path) : path_(std::move(path))
 {
+    for (auto &shard : shards_)
+        shard = std::make_unique<Shard>();
     if (!path_.empty())
         load();
 }
 
-void
-ResultCache::load()
+std::string
+ResultCache::escapeKey(const std::string &key)
 {
-    std::ifstream in(path_);
+    std::string out;
+    out.reserve(key.size());
+    for (const char c : key) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '|':
+            out += "\\p";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+ResultCache::unescapeKey(const std::string &escaped)
+{
+    std::string out;
+    out.reserve(escaped.size());
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] != '\\' || i + 1 == escaped.size()) {
+            out += escaped[i];
+            continue;
+        }
+        switch (escaped[++i]) {
+          case '\\':
+            out += '\\';
+            break;
+          case 'p':
+            out += '|';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          default:
+            // Legacy keys were written unescaped; keep unknown sequences
+            // verbatim so they round-trip.
+            out += '\\';
+            out += escaped[i];
+        }
+    }
+    return out;
+}
+
+std::size_t
+ResultCache::shardOf(const std::string &key) const
+{
+    return std::hash<std::string>{}(key) % kNumShards;
+}
+
+std::string
+ResultCache::shardPath(std::size_t index) const
+{
+    std::ostringstream os;
+    os << path_ << ".shard-" << (index < 10 ? "0" : "") << index;
+    return os.str();
+}
+
+void
+ResultCache::loadFile(const std::string &file_path)
+{
+    std::ifstream in(file_path);
     if (!in)
-        return; // no cache yet
+        return; // no segment yet
     std::string line;
     while (std::getline(in, line)) {
         const std::size_t sep = line.find('|');
@@ -29,36 +105,76 @@ ResultCache::load()
         double v;
         while (vs >> v)
             values.push_back(v);
-        entries_[line.substr(0, sep)] = std::move(values);
+        const std::string key = unescapeKey(line.substr(0, sep));
+        shards_[shardOf(key)]->entries[key] = std::move(values);
     }
+}
+
+void
+ResultCache::load()
+{
+    // Legacy single-file format first, then the shard segments (newer
+    // records) so they override.
+    loadFile(path_);
+    for (std::size_t i = 0; i < kNumShards; ++i)
+        loadFile(shardPath(i));
+}
+
+std::optional<std::vector<double>>
+ResultCache::lookup(const std::string &key) const
+{
+    const Shard &shard = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end())
+        return std::nullopt;
+    return it->second;
 }
 
 const std::vector<double> *
 ResultCache::find(const std::string &key) const
 {
-    const auto it = entries_.find(key);
-    return it == entries_.end() ? nullptr : &it->second;
+    const Shard &shard = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    return it == shard.entries.end() ? nullptr : &it->second;
 }
 
 void
 ResultCache::store(const std::string &key, const std::vector<double> &values)
 {
-    if (key.empty() || key.find('|') != std::string::npos ||
-        key.find('\n') != std::string::npos)
-        fatal("ResultCache: invalid key '", key, "'");
-    entries_[key] = values;
+    if (key.empty())
+        fatal("ResultCache: empty key");
+    const std::size_t index = shardOf(key);
+    Shard &shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries[key] = values;
     if (path_.empty())
         return;
-    std::ofstream out(path_, std::ios::app);
-    if (!out) {
-        warn("ResultCache: cannot append to ", path_);
-        return;
+    if (!shard.out.is_open()) {
+        shard.out.open(shardPath(index), std::ios::app);
+        if (!shard.out) {
+            warn("ResultCache: cannot append to ", shardPath(index));
+            return;
+        }
+        shard.out.precision(17);
     }
-    out << key << '|';
-    out.precision(17);
+    shard.out << escapeKey(key) << '|';
     for (std::size_t i = 0; i < values.size(); ++i)
-        out << (i ? " " : "") << values[i];
-    out << '\n';
+        shard.out << (i ? " " : "") << values[i];
+    shard.out << '\n';
+    shard.out.flush();
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->entries.size();
+    }
+    return total;
 }
 
 } // namespace smtflex

@@ -9,39 +9,83 @@
 #ifndef SMTFLEX_STUDY_RESULT_CACHE_H
 #define SMTFLEX_STUDY_RESULT_CACHE_H
 
+#include <array>
+#include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace smtflex {
 
 /**
- * A persistent map from string keys to vectors of doubles.
+ * A persistent, concurrency-safe map from string keys to vectors of
+ * doubles.
  *
- * The file format is one record per line: `key|v1 v2 ...`. Keys must not
- * contain '|' or newlines. Records are appended as they are computed, so an
- * interrupted sweep resumes where it stopped.
+ * The map is sharded: each of kNumShards shards has its own mutex, its own
+ * entry map and its own append-only file segment (`<path>.shard-NN`), so
+ * parallel experiment workers can store and look up results without
+ * contending on one lock or interleaving writes within one file. Records
+ * are appended as they are computed, so an interrupted sweep resumes where
+ * it stopped.
+ *
+ * On-disk format, one record per line: `key|v1 v2 ...`. Keys are escaped
+ * on write ('\\' -> "\\\\", '|' -> "\\p", newline -> "\\n", carriage
+ * return -> "\\r") so any non-empty key round-trips; unescaped legacy
+ * files load unchanged. The pre-sharding single-file format (everything in
+ * `<path>` itself) is still loaded first, and shard segments override it,
+ * so existing caches keep working; new records only ever land in shard
+ * segments.
  */
 class ResultCache
 {
   public:
+    static constexpr std::size_t kNumShards = 16;
+
     /** Open (and load) the cache at @p path; empty path = in-memory only. */
     explicit ResultCache(std::string path);
 
-    /** Look up a record; nullptr when absent. */
+    /**
+     * Copy of a record, or nullopt when absent. Safe against concurrent
+     * store() of any key (including an overwrite of this one).
+     */
+    std::optional<std::vector<double>> lookup(const std::string &key) const;
+
+    /**
+     * Pointer to a record; nullptr when absent. The pointer survives
+     * concurrent insertion of other keys but NOT an overwrite of the same
+     * key — prefer lookup() in concurrent code.
+     */
     const std::vector<double> *find(const std::string &key) const;
 
-    /** Insert a record and append it to the backing file. */
+    /** Insert a record and append it to the key's shard segment. Only
+     * empty keys are rejected; every other key is escaped on disk. */
     void store(const std::string &key, const std::vector<double> &values);
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const;
     const std::string &path() const { return path_; }
 
+    /** Escape/unescape a key for the on-disk format (exposed for tests). */
+    static std::string escapeKey(const std::string &key);
+    static std::string unescapeKey(const std::string &escaped);
+
   private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, std::vector<double>> entries;
+        std::ofstream out; ///< lazily opened append stream
+    };
+
+    std::size_t shardOf(const std::string &key) const;
+    std::string shardPath(std::size_t index) const;
+    void loadFile(const std::string &file_path);
     void load();
 
     std::string path_;
-    std::map<std::string, std::vector<double>> entries_;
+    std::array<std::unique_ptr<Shard>, kNumShards> shards_;
 };
 
 } // namespace smtflex

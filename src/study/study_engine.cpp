@@ -1,9 +1,10 @@
 #include "study_engine.h"
 
-#include <cstdlib>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/log.h"
+#include "exec/experiment_runner.h"
 #include "metrics/metrics.h"
 #include "sim/power_summary.h"
 #include "trace/spec_profiles.h"
@@ -15,19 +16,12 @@ StudyOptions
 StudyOptions::fromEnv()
 {
     StudyOptions opts;
-    if (const char *env = std::getenv("SMTFLEX_BUDGET"))
-        opts.budget = static_cast<InstrCount>(std::strtoull(env, nullptr, 10));
-    if (const char *env = std::getenv("SMTFLEX_WARMUP"))
-        opts.warmup = static_cast<InstrCount>(std::strtoull(env, nullptr, 10));
-    if (const char *env = std::getenv("SMTFLEX_MIXES"))
-        opts.hetMixes =
-            static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
-    if (const char *env = std::getenv("SMTFLEX_SEED"))
-        opts.seed = std::strtoull(env, nullptr, 10);
-    if (const char *env = std::getenv("SMTFLEX_CACHE"))
-        opts.cachePath = env;
-    if (const char *env = std::getenv("SMTFLEX_FULLSWEEP"))
-        opts.fullSweep = env[0] == '1';
+    opts.budget = envU64("SMTFLEX_BUDGET", opts.budget);
+    opts.warmup = envU64("SMTFLEX_WARMUP", opts.warmup);
+    opts.hetMixes = envU32("SMTFLEX_MIXES", opts.hetMixes);
+    opts.seed = envU64("SMTFLEX_SEED", opts.seed);
+    opts.cachePath = envString("SMTFLEX_CACHE", opts.cachePath);
+    opts.fullSweep = envFlag("SMTFLEX_FULLSWEEP", opts.fullSweep);
     if (opts.budget == 0 || opts.hetMixes == 0)
         fatal("StudyOptions: budget and mixes must be positive");
     return opts;
@@ -81,7 +75,7 @@ StudyEngine::isolatedIpc(const std::string &bench, CoreType type)
     key << "iso;" << bench << ";" << coreTypeTag(type) << ";b"
         << options_.budget << ";w" << options_.warmup << ";s"
         << options_.seed << ";bw" << options_.bandwidthGBps;
-    if (const auto *hit = cache_.find(key.str()))
+    if (const auto hit = cache_.lookup(key.str()))
         return hit->at(0);
 
     CoreParams core;
@@ -118,17 +112,28 @@ StudyEngine::isolatedIpc(const std::string &bench, CoreType type)
 const OfflineProfile &
 StudyEngine::offline()
 {
-    if (!offlineBuilt_) {
-        for (const auto &bench : specBenchmarkNames()) {
-            offline_.set(bench, CoreType::kBig,
-                         isolatedIpc(bench, CoreType::kBig));
-            offline_.set(bench, CoreType::kMedium,
-                         isolatedIpc(bench, CoreType::kMedium));
-            offline_.set(bench, CoreType::kSmall,
-                         isolatedIpc(bench, CoreType::kSmall));
+    std::call_once(offlineOnce_, [this] {
+        const auto &benches = specBenchmarkNames();
+        struct Row
+        {
+            double big = 0.0, medium = 0.0, small = 0.0;
+        };
+        // The 12 x 3 isolated characterisation runs are independent; fan
+        // them out and fill the table in deterministic order afterwards.
+        exec::ExperimentRunner runner;
+        const auto rows = runner.map(benches.size(), [&](std::size_t i) {
+            Row row;
+            row.big = isolatedIpc(benches[i], CoreType::kBig);
+            row.medium = isolatedIpc(benches[i], CoreType::kMedium);
+            row.small = isolatedIpc(benches[i], CoreType::kSmall);
+            return row;
+        });
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            offline_.set(benches[i], CoreType::kBig, rows[i].big);
+            offline_.set(benches[i], CoreType::kMedium, rows[i].medium);
+            offline_.set(benches[i], CoreType::kSmall, rows[i].small);
         }
-        offlineBuilt_ = true;
-    }
+    });
     return offline_;
 }
 
@@ -166,7 +171,7 @@ StudyEngine::multiprogram(const ChipConfig &config,
                           const MultiProgramWorkload &workload)
 {
     const std::string key = "mp;" + keyPrefix(config) + ";" + workload.name;
-    if (const auto *hit = cache_.find(key)) {
+    if (const auto hit = cache_.lookup(key)) {
         RunMetrics m;
         m.stp = hit->at(0);
         m.antt = hit->at(1);
@@ -219,10 +224,15 @@ StudyEngine::homogeneousBenchmarkAt(const ChipConfig &config,
 RunMetrics
 StudyEngine::homogeneousAt(const ChipConfig &config, std::uint32_t n)
 {
-    std::vector<RunMetrics> runs;
-    for (const auto &bench : specBenchmarkNames())
-        runs.push_back(homogeneousBenchmarkAt(config, bench, n));
-    return aggregate(runs);
+    // Build the offline table before fanning out: its construction is
+    // itself a parallel region, and prebuilding it means every parallel
+    // workload run below hits the memoised table.
+    offline();
+    exec::ExperimentRunner runner;
+    return aggregate(
+        runner.mapItems(specBenchmarkNames(), [&](const std::string &bench) {
+            return homogeneousBenchmarkAt(config, bench, n);
+        }));
 }
 
 RunMetrics
@@ -233,11 +243,13 @@ StudyEngine::heterogeneousAt(const ChipConfig &config, std::uint32_t n)
         // 12 benchmarks is exactly one run of each.
         return homogeneousAt(config, 1);
     }
-    std::vector<RunMetrics> runs;
-    for (const auto &mix :
-         heterogeneousWorkloads(n, options_.hetMixes, options_.seed))
-        runs.push_back(multiprogram(config, mix));
-    return aggregate(runs);
+    offline();
+    exec::ExperimentRunner runner;
+    return aggregate(runner.mapItems(
+        heterogeneousWorkloads(n, options_.hetMixes, options_.seed),
+        [&](const MultiProgramWorkload &mix) {
+            return multiprogram(config, mix);
+        }));
 }
 
 double
@@ -302,7 +314,7 @@ StudyEngine::parsec(const ChipConfig &config, const std::string &bench,
 {
     std::ostringstream key;
     key << "ps;" << keyPrefix(config) << ";" << bench << ";t" << threads;
-    if (const auto *hit = cache_.find(key.str())) {
+    if (const auto hit = cache_.lookup(key.str())) {
         ParsecMetrics m;
         m.roiCycles = hit->at(0);
         m.totalCycles = hit->at(1);
@@ -345,10 +357,14 @@ double
 StudyEngine::bestParsecCycles(const ChipConfig &config,
                               const std::string &bench, bool roi_only)
 {
+    exec::ExperimentRunner runner;
+    const auto all = runner.mapItems(
+        parsecThreadCandidates(config), [&](std::uint32_t t) {
+            const ParsecMetrics m = parsec(config, bench, t);
+            return roi_only ? m.roiCycles : m.totalCycles;
+        });
     double best = 0.0;
-    for (const std::uint32_t t : parsecThreadCandidates(config)) {
-        const ParsecMetrics m = parsec(config, bench, t);
-        const double cycles = roi_only ? m.roiCycles : m.totalCycles;
+    for (const double cycles : all) {
         if (cycles <= 0.0)
             continue;
         if (best == 0.0 || cycles < best)

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,13 @@ struct ParsecMetrics
  * Memoised experiment driver. All results are deterministic functions of
  * (StudyOptions, config, workload); repeated calls — across bench binaries,
  * via the disk cache — are free.
+ *
+ * The engine is safe to drive from multiple threads and parallelises its
+ * own sweeps internally (homogeneousAt/heterogeneousAt fan the independent
+ * workload runs out over the smtflex::exec thread pool; bestParsecCycles
+ * fans out over thread-count candidates). SMTFLEX_JOBS controls the worker
+ * count; with SMTFLEX_JOBS=1 everything runs serially, and every metric an
+ * engine reports is byte-identical for any job count.
  */
 class StudyEngine
 {
@@ -170,7 +178,7 @@ class StudyEngine
     ResultCache cache_;
     PowerModel power_;
     OfflineProfile offline_;
-    bool offlineBuilt_ = false;
+    std::once_flag offlineOnce_;
 };
 
 } // namespace smtflex

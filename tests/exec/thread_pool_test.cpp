@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the work-stealing ThreadPool and TaskGroup: completion,
+ * nesting, helping waits, exception propagation, and the serial
+ * (zero-worker) mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "exec/thread_pool.h"
+
+namespace smtflex {
+namespace exec {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 0u);
+    EXPECT_EQ(pool.concurrency(), 1u);
+    const auto submitter = std::this_thread::get_id();
+    std::vector<int> order;
+    TaskGroup group(pool);
+    for (int i = 0; i < 5; ++i) {
+        group.run([&, i] {
+            EXPECT_EQ(std::this_thread::get_id(), submitter);
+            order.push_back(i);
+        });
+    }
+    group.wait();
+    // Inline mode executes at submission, in submission order.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, RunsAllTasksOnWorkers)
+{
+    for (const unsigned workers : {1u, 2u, 4u}) {
+        ThreadPool pool(workers);
+        std::atomic<int> count{0};
+        TaskGroup group(pool);
+        for (int i = 0; i < 100; ++i)
+            group.run([&] { count.fetch_add(1); });
+        group.wait();
+        EXPECT_EQ(count.load(), 100) << workers << " workers";
+    }
+}
+
+TEST(ThreadPoolTest, NestedGroupsComplete)
+{
+    ThreadPool pool(3);
+    std::atomic<int> leaves{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 8; ++i) {
+        outer.run([&] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 8; ++j)
+                inner.run([&] { leaves.fetch_add(1); });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitHelpsFromSubmittingThread)
+{
+    // One worker, deliberately parked on a slow task: the submitting
+    // thread's wait() must pick up the remaining queued tasks itself.
+    ThreadPool pool(1);
+    std::atomic<bool> release{false};
+    std::atomic<int> done{0};
+    TaskGroup group(pool);
+    group.run([&] {
+        while (!release.load())
+            std::this_thread::yield();
+        done.fetch_add(1);
+    });
+    for (int i = 0; i < 10; ++i)
+        group.run([&, i] {
+            if (i == 9)
+                release.store(true);
+            done.fetch_add(1);
+        });
+    group.wait();
+    EXPECT_EQ(done.load(), 11);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToWait)
+{
+    for (const unsigned workers : {0u, 2u}) {
+        ThreadPool pool(workers);
+        TaskGroup group(pool);
+        std::atomic<int> survivors{0};
+        for (int i = 0; i < 10; ++i) {
+            group.run([&, i] {
+                if (i == 3)
+                    throw std::runtime_error("task failed");
+                survivors.fetch_add(1);
+            });
+        }
+        EXPECT_THROW(group.wait(), std::runtime_error)
+            << workers << " workers";
+        // A failure aborts nothing else: every other task still ran.
+        EXPECT_EQ(survivors.load(), 9);
+    }
+}
+
+TEST(ThreadPoolTest, FatalErrorCrossesThreads)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.run([] { fatal("simulated user error"); });
+    EXPECT_THROW(group.wait(), FatalError);
+}
+
+TEST(ThreadPoolTest, ConfiguredJobsReadsEnv)
+{
+    setenv("SMTFLEX_JOBS", "5", 1);
+    EXPECT_EQ(ThreadPool::configuredJobs(), 5u);
+    setenv("SMTFLEX_JOBS", "0", 1);
+    EXPECT_THROW(ThreadPool::configuredJobs(), FatalError);
+    setenv("SMTFLEX_JOBS", "many", 1);
+    EXPECT_THROW(ThreadPool::configuredJobs(), FatalError);
+    unsetenv("SMTFLEX_JOBS");
+    EXPECT_GE(ThreadPool::configuredJobs(), 1u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResetForTesting)
+{
+    ThreadPool::resetGlobalForTesting(1);
+    EXPECT_EQ(ThreadPool::global().workerCount(), 0u);
+    ThreadPool::resetGlobalForTesting(4);
+    EXPECT_EQ(ThreadPool::global().workerCount(), 4u);
+    std::atomic<int> count{0};
+    TaskGroup group(ThreadPool::global());
+    for (int i = 0; i < 32; ++i)
+        group.run([&] { count.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(count.load(), 32);
+    ThreadPool::resetGlobalForTesting(1);
+}
+
+} // namespace
+} // namespace exec
+} // namespace smtflex

@@ -1,12 +1,15 @@
 /**
  * @file
- * Tests for the disk-backed result cache.
+ * Tests for the disk-backed result cache: persistence, the sharded file
+ * format, backward-compatible loading of the legacy single-file format,
+ * and key escaping (the `|`/newline injection fix).
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/log.h"
@@ -21,9 +24,20 @@ class ResultCacheTest : public ::testing::Test
     void SetUp() override
     {
         path_ = ::testing::TempDir() + "smtflex_cache_test.txt";
-        std::remove(path_.c_str());
+        removeAll();
     }
-    void TearDown() override { std::remove(path_.c_str()); }
+    void TearDown() override { removeAll(); }
+
+    void removeAll()
+    {
+        std::remove(path_.c_str());
+        for (std::size_t i = 0; i < ResultCache::kNumShards; ++i) {
+            std::ostringstream os;
+            os << path_ << ".shard-" << (i < 10 ? "0" : "") << i;
+            std::remove(os.str().c_str());
+        }
+    }
+
     std::string path_;
 };
 
@@ -31,10 +45,14 @@ TEST_F(ResultCacheTest, StoreAndFind)
 {
     ResultCache cache(path_);
     EXPECT_EQ(cache.find("k1"), nullptr);
+    EXPECT_FALSE(cache.lookup("k1").has_value());
     cache.store("k1", {1.0, 2.5, -3.0});
     const auto *hit = cache.find("k1");
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(*hit, (std::vector<double>{1.0, 2.5, -3.0}));
+    const auto copy = cache.lookup("k1");
+    ASSERT_TRUE(copy.has_value());
+    EXPECT_EQ(*copy, *hit);
     EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -61,7 +79,7 @@ TEST_F(ResultCacheTest, OverwriteTakesLatestValue)
         cache.store("k", {9.0});
         EXPECT_DOUBLE_EQ(cache.find("k")->at(0), 9.0);
     }
-    // The append-only file replays in order; the last record wins.
+    // The append-only segments replay in order; the last record wins.
     ResultCache reloaded(path_);
     EXPECT_DOUBLE_EQ(reloaded.find("k")->at(0), 9.0);
 }
@@ -75,6 +93,29 @@ TEST_F(ResultCacheTest, FullPrecisionRoundTrip)
     }
     ResultCache reloaded(path_);
     EXPECT_DOUBLE_EQ(reloaded.find("pi")->at(0), value);
+}
+
+TEST_F(ResultCacheTest, LoadsLegacySingleFileFormat)
+{
+    // Records written by the pre-sharding cache live in `path` itself.
+    {
+        std::ofstream out(path_);
+        out << "legacy_a|1 2 3\n";
+        out << "legacy_b|4\n";
+    }
+    ResultCache cache(path_);
+    EXPECT_EQ(cache.size(), 2u);
+    ASSERT_NE(cache.find("legacy_a"), nullptr);
+    EXPECT_EQ(cache.find("legacy_a")->size(), 3u);
+    // New records go to shard segments; the legacy file is left untouched,
+    // and a shard record for the same key overrides the legacy one.
+    cache.store("legacy_b", {9.0});
+    ResultCache reloaded(path_);
+    EXPECT_DOUBLE_EQ(reloaded.find("legacy_b")->at(0), 9.0);
+    std::ifstream legacy(path_);
+    std::string all((std::istreambuf_iterator<char>(legacy)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(all, "legacy_a|1 2 3\nlegacy_b|4\n");
 }
 
 TEST_F(ResultCacheTest, ToleratesCorruptLines)
@@ -100,12 +141,46 @@ TEST_F(ResultCacheTest, InMemoryOnlyWithEmptyPath)
     EXPECT_TRUE(cache.path().empty());
 }
 
-TEST_F(ResultCacheTest, InvalidKeysRejected)
+TEST_F(ResultCacheTest, EmptyKeyRejected)
 {
     ResultCache cache(path_);
     EXPECT_THROW(cache.store("", {1.0}), FatalError);
-    EXPECT_THROW(cache.store("a|b", {1.0}), FatalError);
-    EXPECT_THROW(cache.store("a\nb", {1.0}), FatalError);
+}
+
+TEST_F(ResultCacheTest, SeparatorCharactersInKeysRoundTrip)
+{
+    // Regression: keys containing the on-disk separators used to corrupt
+    // the format (a '|' shifted the value split, a newline broke the
+    // record into two lines). They are escaped now.
+    const std::vector<std::string> nasty = {
+        "a|b", "a\nb", "a\rb", "a\\b", "a\\|b\\n", "trailing\\",
+        "mp;cfg|smt1;w\nx",
+    };
+    {
+        ResultCache cache(path_);
+        for (std::size_t i = 0; i < nasty.size(); ++i)
+            cache.store(nasty[i], {static_cast<double>(i), 0.5});
+    }
+    ResultCache reloaded(path_);
+    EXPECT_EQ(reloaded.size(), nasty.size());
+    for (std::size_t i = 0; i < nasty.size(); ++i) {
+        const auto hit = reloaded.lookup(nasty[i]);
+        ASSERT_TRUE(hit.has_value()) << "key " << i;
+        EXPECT_DOUBLE_EQ(hit->at(0), static_cast<double>(i)) << "key " << i;
+    }
+}
+
+TEST_F(ResultCacheTest, EscapeKeyIsInvertibleAndOneLine)
+{
+    for (const std::string key :
+         {"plain", "a|b", "a\nb", "a\r\nb", "back\\slash", "\\p", "x"}) {
+        const std::string escaped = ResultCache::escapeKey(key);
+        EXPECT_EQ(escaped.find('|'), std::string::npos) << key;
+        EXPECT_EQ(escaped.find('\n'), std::string::npos) << key;
+        EXPECT_EQ(ResultCache::unescapeKey(escaped), key);
+    }
+    // Legacy unescaped keys (no backslashes) pass through unchanged.
+    EXPECT_EQ(ResultCache::unescapeKey("iso;mcf;B;b12000"), "iso;mcf;B;b12000");
 }
 
 TEST_F(ResultCacheTest, EmptyValueVector)

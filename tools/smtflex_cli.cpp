@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "exec/experiment_runner.h"
 #include "report/sim_report.h"
 #include "trace/trace_io.h"
 #include "metrics/metrics.h"
@@ -176,12 +177,25 @@ cmdIsolated(int argc, char **argv)
         benches.push_back(argv[i]);
     if (benches.empty())
         benches = specBenchmarkNames();
-    for (const auto &bench : benches) {
-        const double b = eng.isolatedIpc(bench, CoreType::kBig);
-        const double m = eng.isolatedIpc(bench, CoreType::kMedium);
-        const double s = eng.isolatedIpc(bench, CoreType::kSmall);
+    // The isolated characterisation runs are independent experiments; fan
+    // them out over SMTFLEX_JOBS workers and print in request order.
+    struct Row
+    {
+        double big = 0.0, medium = 0.0, small = 0.0;
+    };
+    exec::ExperimentRunner runner;
+    const auto rows = runner.mapItems(benches, [&](const std::string &bench) {
+        Row row;
+        row.big = eng.isolatedIpc(bench, CoreType::kBig);
+        row.medium = eng.isolatedIpc(bench, CoreType::kMedium);
+        row.small = eng.isolatedIpc(bench, CoreType::kSmall);
+        return row;
+    });
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const Row &r = rows[i];
         std::printf("%-12s %8.3f %8.3f %8.3f %10.2f %10.2f\n",
-                    bench.c_str(), b, m, s, b / m, b / s);
+                    benches[i].c_str(), r.big, r.medium, r.small,
+                    r.big / r.medium, r.big / r.small);
     }
     return 0;
 }
