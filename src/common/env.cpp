@@ -25,51 +25,64 @@ envString(const char *name, const std::string &fallback)
 }
 
 std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
+parseU64(const std::string &text, const std::string &what)
 {
-    const auto raw = envRaw(name);
-    if (!raw)
-        return fallback;
-    const std::string &text = *raw;
     if (text.empty() || text[0] == '-' ||
         !std::isdigit(static_cast<unsigned char>(text[0])))
-        fatal(name, ": expected a non-negative integer, got '", text, "'");
+        fatal(what, ": expected a non-negative integer, got '", text, "'");
     errno = 0;
     char *end = nullptr;
     const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
     if (errno == ERANGE)
-        fatal(name, ": value '", text, "' out of range");
+        fatal(what, ": value '", text, "' out of range");
     if (end == nullptr || *end != '\0')
-        fatal(name, ": trailing junk in '", text, "'");
+        fatal(what, ": trailing junk in '", text, "'");
     return static_cast<std::uint64_t>(value);
+}
+
+std::uint32_t
+parseU32(const std::string &text, const std::string &what)
+{
+    const std::uint64_t value = parseU64(text, what);
+    if (value > UINT32_MAX)
+        fatal(what, ": value ", value, " out of 32-bit range");
+    return static_cast<std::uint32_t>(value);
+}
+
+double
+parseDouble(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        fatal(what, ": expected a number, got an empty string");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE)
+        fatal(what, ": value '", text, "' out of range");
+    if (end == nullptr || *end != '\0')
+        fatal(what, ": trailing junk in '", text, "'");
+    return value;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const auto raw = envRaw(name);
+    return raw ? parseU64(*raw, name) : fallback;
 }
 
 std::uint32_t
 envU32(const char *name, std::uint32_t fallback)
 {
-    const std::uint64_t value = envU64(name, fallback);
-    if (value > UINT32_MAX)
-        fatal(name, ": value ", value, " out of 32-bit range");
-    return static_cast<std::uint32_t>(value);
+    const auto raw = envRaw(name);
+    return raw ? parseU32(*raw, name) : fallback;
 }
 
 double
 envDouble(const char *name, double fallback)
 {
     const auto raw = envRaw(name);
-    if (!raw)
-        return fallback;
-    const std::string &text = *raw;
-    if (text.empty())
-        fatal(name, ": expected a number, got an empty string");
-    errno = 0;
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    if (errno == ERANGE)
-        fatal(name, ": value '", text, "' out of range");
-    if (end == nullptr || *end != '\0')
-        fatal(name, ": trailing junk in '", text, "'");
-    return value;
+    return raw ? parseDouble(*raw, name) : fallback;
 }
 
 bool

@@ -20,6 +20,21 @@ namespace smtflex {
 /** Raw value of @p name, or nullopt when unset. */
 std::optional<std::string> envRaw(const char *name);
 
+/**
+ * Parse @p text as a non-negative integer; fatal() naming @p what on
+ * malformed values (empty, negative, trailing junk, overflow). The env
+ * readers below, CLI flag parsing and the serve protocol's integer fields
+ * all route through this one strict parser.
+ */
+std::uint64_t parseU64(const std::string &text, const std::string &what);
+
+/** Like parseU64 but range-checked to 32 bits. */
+std::uint32_t parseU32(const std::string &text, const std::string &what);
+
+/** Parse @p text as a floating-point value; fatal() naming @p what on
+ * malformed values. */
+double parseDouble(const std::string &text, const std::string &what);
+
 /** String value of @p name, or @p fallback when unset. */
 std::string envString(const char *name, const std::string &fallback);
 

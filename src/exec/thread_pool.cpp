@@ -106,6 +106,17 @@ ThreadPool::global()
 }
 
 void
+ThreadPool::configureGlobal(unsigned jobs)
+{
+    if (jobs == 0)
+        fatal("jobs: must be >= 1 (1 = serial execution)");
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    if (globalPool)
+        fatal("configureGlobal: the global pool is already running");
+    makeGlobal(jobs);
+}
+
+void
 ThreadPool::resetGlobalForTesting(unsigned jobs)
 {
     std::lock_guard<std::mutex> lock(globalPoolMutex);

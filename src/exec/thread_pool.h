@@ -73,6 +73,14 @@ class ThreadPool
     static unsigned configuredJobs();
 
     /**
+     * Build the global pool with @p jobs workers instead of the
+     * SMTFLEX_JOBS default (the CLI's `serve --jobs N`). Must run before
+     * anything touches global(); fatal() once the pool exists — replacing
+     * a pool that may have tasks in flight is not supported.
+     */
+    static void configureGlobal(unsigned jobs);
+
+    /**
      * Replace the global pool (tests only: lets one process compare
      * SMTFLEX_JOBS=1 vs =N behaviour). Must not race with tasks in
      * flight. @p jobs follows SMTFLEX_JOBS semantics: 1 = serial.

@@ -1,0 +1,120 @@
+#include "client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace smtflex {
+namespace serve {
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        decoder_ = std::move(other.decoder_);
+    }
+    return *this;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Client::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        fatal("client: socket failed: ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        fatal("client: invalid address '", host, "'");
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        fatal("client: cannot connect to ", host, ":", port, ": ",
+              std::strerror(errno));
+}
+
+void
+Client::send(const Json &request)
+{
+    if (fd_ < 0)
+        fatal("client: not connected");
+    const std::string frame = encodeFrame(request.dump());
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::write(fd_, frame.data() + sent, frame.size() - sent);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        fatal("client: write failed: ", std::strerror(errno));
+    }
+}
+
+Json
+Client::receive()
+{
+    if (fd_ < 0)
+        fatal("client: not connected");
+    std::string payload;
+    while (!decoder_.next(payload)) {
+        char buf[16 * 1024];
+        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            decoder_.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            fatal("client: connection closed by server");
+        if (errno == EINTR)
+            continue;
+        fatal("client: read failed: ", std::strerror(errno));
+    }
+    return Json::parse(payload);
+}
+
+Json
+Client::call(const Json &request)
+{
+    send(request);
+    return receive();
+}
+
+} // namespace serve
+} // namespace smtflex

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A minimal blocking client for the smtflex::serve protocol, shared by
+ * the `smtflex_loadgen` tool and the serve test suite. One Client is one
+ * TCP connection; requests may be pipelined (send several, then receive)
+ * and replies are correlated through the echoed "id" member.
+ */
+
+#ifndef SMTFLEX_SERVE_CLIENT_H
+#define SMTFLEX_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace smtflex {
+namespace serve {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to @p host:@p port; fatal() on failure. */
+    void connect(const std::string &host, std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /** Send one request document (does not wait for the reply). */
+    void send(const Json &request);
+
+    /**
+     * Block until the next response frame arrives and parse it.
+     * fatal() on EOF or protocol errors.
+     */
+    Json receive();
+
+    /** send() + receive() — the closed-loop convenience call. */
+    Json call(const Json &request);
+
+  private:
+    int fd_ = -1;
+    FrameDecoder decoder_;
+};
+
+} // namespace serve
+} // namespace smtflex
+
+#endif // SMTFLEX_SERVE_CLIENT_H

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A minimal JSON value type with a strict parser and a deterministic
+ * serializer, used by the smtflex::serve wire protocol.
+ *
+ * The serving protocol exchanges small request/response documents; pulling
+ * in an external JSON dependency is not worth it (and the build image bakes
+ * in no such library). This implementation supports the full JSON grammar
+ * (RFC 8259): objects, arrays, strings with escape sequences including
+ * \uXXXX (and surrogate pairs), numbers, booleans and null. Object members
+ * are kept in a sorted map, so dump() output is canonical — two
+ * semantically equal documents serialize to byte-identical text, which the
+ * server exploits for request coalescing keys.
+ */
+
+#ifndef SMTFLEX_SERVE_JSON_H
+#define SMTFLEX_SERVE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smtflex {
+namespace serve {
+
+/**
+ * An immutable-ish JSON document node. Building is done through the static
+ * factories plus set()/push(); reading through the typed accessors, which
+ * fatal() on type mismatches (protocol handlers catch FatalError and turn
+ * it into a `bad_request` reply).
+ */
+class Json
+{
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    /** A null document. */
+    Json() = default;
+
+    static Json boolean(bool value);
+    static Json number(double value);
+    static Json number(std::uint64_t value);
+    static Json string(std::string value);
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isBool() const { return type_ == Type::kBool; }
+    bool isNumber() const { return type_ == Type::kNumber; }
+    bool isString() const { return type_ == Type::kString; }
+    bool isArray() const { return type_ == Type::kArray; }
+    bool isObject() const { return type_ == Type::kObject; }
+
+    /** Typed reads; fatal() when the node has a different type. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /**
+     * The number as a non-negative integer; fatal() when the node is not a
+     * number, is negative, has a fractional part, or exceeds 2^53 (the
+     * largest contiguously representable integer in a double).
+     */
+    std::uint64_t asU64() const;
+
+    // ---- objects ----
+
+    /** Whether this object has member @p key (false for non-objects). */
+    bool has(const std::string &key) const;
+
+    /** Member @p key; fatal() when absent or this is not an object. */
+    const Json &at(const std::string &key) const;
+
+    /** Set member @p key (this must be an object). */
+    Json &set(const std::string &key, Json value);
+
+    /** Members of an object (sorted by key). */
+    const std::map<std::string, Json> &members() const;
+
+    // ---- arrays ----
+
+    /** Append @p value (this must be an array). */
+    Json &push(Json value);
+
+    /** Element @p index; fatal() when out of range or not an array. */
+    const Json &at(std::size_t index) const;
+
+    /** Elements of an array. */
+    const std::vector<Json> &elements() const;
+
+    /** Array/object element count; fatal() for scalar types. */
+    std::size_t size() const;
+
+    // ---- text form ----
+
+    /**
+     * Compact canonical serialization: no whitespace, object keys in
+     * sorted order, integral numbers printed without exponent/fraction.
+     */
+    std::string dump() const;
+
+    /** Parse @p text (a complete document; trailing junk is an error).
+     * fatal() with a position-annotated message on malformed input. */
+    static Json parse(const std::string &text);
+
+    /** JSON string escaping of @p raw, without the surrounding quotes. */
+    static std::string escape(const std::string &raw);
+
+  private:
+    void expect(Type type, const char *what) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::map<std::string, Json> object_;
+};
+
+} // namespace serve
+} // namespace smtflex
+
+#endif // SMTFLEX_SERVE_JSON_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The serve load generator: K concurrent connections replaying a
+ * deterministic request mix against a server, measuring throughput and
+ * latency percentiles and reporting the server's cache behaviour. Used
+ * by the `smtflex_loadgen` tool and driven in-process by the loopback
+ * e2e test (which also verifies responses byte-for-byte).
+ */
+
+#ifndef SMTFLEX_SERVE_LOADGEN_H
+#define SMTFLEX_SERVE_LOADGEN_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace smtflex {
+namespace serve {
+
+struct LoadGenOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 7333;
+    /** Concurrent connections (each one closed-loop). */
+    unsigned connections = 8;
+    unsigned requestsPerConnection = 50;
+    /** Seed of the deterministic request sequence. */
+    std::uint64_t seed = 1;
+    /**
+     * Request mix as `op=weight` pairs, e.g. "ping=2,run=4,sweep=1,
+     * isolated=1". Weights are relative integers; ops with weight 0 are
+     * never sent.
+     */
+    std::string mix = "ping=2,run=4,sweep=1,isolated=1";
+    /** deadline_ms attached to every simulation request (0 = none). */
+    std::uint64_t deadlineMs = 0;
+    /** delay_ms attached to ping requests (0 = inline pings). */
+    std::uint64_t pingDelayMs = 0;
+    /** Distinct simulation variants per op — smaller pools mean more
+     * server-side cache hits and coalescing. */
+    unsigned distinct = 6;
+    /** Instruction budget/warmup of generated run requests (kept small:
+     * the loadgen measures the serving path, not the simulator). */
+    std::uint64_t budget = 2'000;
+    std::uint64_t warmup = 500;
+    /**
+     * Expected "output" text per request canonical key. When a response's
+     * request key is present here, the output is compared byte-for-byte
+     * and mismatches are counted (the loopback e2e correctness check).
+     */
+    std::map<std::string, std::string> expectedOutputs;
+};
+
+struct LoadGenReport
+{
+    std::uint64_t sent = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t deadline = 0;
+    std::uint64_t otherErrors = 0;
+    std::uint64_t mismatches = 0; ///< outputs differing from expected
+    double seconds = 0.0;
+    double throughput = 0.0; ///< completed requests per second
+    double p50Us = 0.0, p90Us = 0.0, p99Us = 0.0, maxUs = 0.0;
+
+    // Server-side counters snapshotted after the run.
+    std::uint64_t serverCacheHits = 0;
+    std::uint64_t serverCoalesced = 0;
+    std::uint64_t serverExecuted = 0;
+    double cacheHitRate = 0.0; ///< hits / (hits + coalesced + executed)
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+/**
+ * The deterministic pool of simulation requests the generator draws from
+ * (without ids/deadlines). Exposed so tests can precompute the expected
+ * output of every request the generator can possibly send.
+ */
+std::vector<Json> loadgenRequestPool(const LoadGenOptions &options);
+
+/** Run the load; fatal() on connection failures. */
+LoadGenReport runLoadGen(const LoadGenOptions &options);
+
+} // namespace serve
+} // namespace smtflex
+
+#endif // SMTFLEX_SERVE_LOADGEN_H

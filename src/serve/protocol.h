@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The smtflex::serve wire protocol.
+ *
+ * Framing: every message (both directions) is a 4-byte big-endian payload
+ * length followed by that many bytes of UTF-8 JSON. Frames above the
+ * configured maximum are a protocol error — the server replies with a
+ * `frame_too_large` error and closes the connection (the stream position
+ * is unrecoverable once a frame is skipped).
+ *
+ * Requests are JSON objects:
+ *
+ *   {"op":"ping"}                        liveness probe (optionally with
+ *                                        "delay_ms":N — the reply is then
+ *                                        produced by a worker after the
+ *                                        delay, a load-testing aid)
+ *   {"op":"stats"}                       server counters snapshot
+ *   {"op":"run","design":"4B","workload":["mcf","hmmer"],...}
+ *   {"op":"sweep","design":"2B4m","het":true,...}
+ *   {"op":"isolated","benches":["tonto"]}
+ *
+ * Common optional members: "id" (u64, echoed verbatim in the reply so
+ * clients may pipeline), "deadline_ms" (u64; the request is answered with
+ * a `deadline` error if a worker cannot start it in time). Integer fields
+ * accept JSON numbers or decimal strings; both are validated through
+ * common/env.h's strict parsers.
+ *
+ * Responses: {"id":N,"ok":true,...} or {"id":N,"ok":false,"error":CODE,
+ * "message":TEXT} with CODE in {bad_request, overloaded, deadline,
+ * shutting_down, frame_too_large, failed}.
+ */
+
+#ifndef SMTFLEX_SERVE_PROTOCOL_H
+#define SMTFLEX_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/commands.h"
+#include "serve/json.h"
+
+namespace smtflex {
+namespace serve {
+
+/** Default cap on a frame's payload size (requests and responses). */
+constexpr std::size_t kDefaultMaxFrame = 1u << 20;
+
+/** Wrap @p payload in a length-prefixed frame. */
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Incremental frame decoder: feed() bytes as they arrive (in any
+ * fragmentation), then next() extracts complete payloads. Once a frame
+ * exceeding the maximum is seen the decoder is poisoned: next() fatal()s
+ * and the connection must be dropped.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrame)
+        : maxFrame_(max_frame)
+    {
+    }
+
+    /** Append @p size raw bytes from the stream. */
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Extract the next complete payload into @p out.
+     * @return whether a payload was extracted. fatal()s on an oversized
+     * frame header.
+     */
+    bool next(std::string &out);
+
+    /** Bytes buffered but not yet returned. */
+    std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::size_t maxFrame_;
+    std::string buffer_;
+    std::size_t consumed_ = 0; ///< prefix of buffer_ already returned
+};
+
+/** Request verbs of the protocol. */
+enum class Op { kPing, kStats, kRun, kSweep, kIsolated };
+
+/** Printable verb name (as used on the wire). */
+const char *opName(Op op);
+
+/** A parsed, validated request. */
+struct Request
+{
+    Op op = Op::kPing;
+    std::uint64_t id = 0;
+    bool hasId = false;
+    std::uint64_t deadlineMs = 0; ///< 0 = no deadline
+    std::uint64_t delayMs = 0;    ///< ping only: artificial service time
+    RunRequest run;
+    SweepRequest sweep;
+    IsolatedRequest isolated;
+
+    /**
+     * Canonical identity of the simulation this request asks for, used
+     * for coalescing identical in-flight requests and memoising
+     * responses. Empty for ping/stats, which are never coalesced or
+     * cached. Excludes id/deadline: two requests differing only in
+     * those fields share one simulation.
+     */
+    std::string canonicalKey() const;
+};
+
+/**
+ * Parse and validate a request document. fatal() (with a client-facing
+ * message) on unknown ops, missing/mistyped members, unknown design or
+ * benchmark names, and malformed integer fields.
+ */
+Request parseRequest(const Json &doc);
+
+/** Best-effort id extraction from a possibly invalid request document,
+ * so error replies can still be correlated. Returns 0 when absent. */
+std::uint64_t extractId(const Json &doc);
+
+/** Build the common success envelope: {"id":id,"ok":true,"op":op}. */
+Json makeResponse(Op op);
+
+/** Build an error reply body: {"ok":false,"error":code,"message":msg}. */
+Json makeError(const std::string &code, const std::string &message);
+
+} // namespace serve
+} // namespace smtflex
+
+#endif // SMTFLEX_SERVE_PROTOCOL_H

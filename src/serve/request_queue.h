@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A bounded MPMC queue with explicit admission failure — the server's
+ * backpressure point. tryPush() never blocks: when the queue is full the
+ * caller immediately answers the client with an `overloaded` error
+ * instead of letting requests pile up unboundedly (429 semantics).
+ *
+ * popBatch() hands the dispatcher as many requests as are ready (up to a
+ * cap) in one wakeup, which is what lets it batch work onto the
+ * smtflex::exec thread pool. close() initiates drain: pushes fail, pops
+ * keep succeeding until the queue is empty, then return 0.
+ */
+
+#ifndef SMTFLEX_SERVE_REQUEST_QUEUE_H
+#define SMTFLEX_SERVE_REQUEST_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace smtflex {
+namespace serve {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /** Admit @p item. @return false (without blocking) when the queue is
+     * at capacity or closed. */
+    bool tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        readyCv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Move up to @p max ready items into @p out (cleared first), blocking
+     * while the queue is empty and open.
+     * @return the number of items delivered; 0 means closed-and-drained.
+     */
+    std::size_t popBatch(std::vector<T> &out, std::size_t max)
+    {
+        out.clear();
+        std::unique_lock<std::mutex> lock(mutex_);
+        readyCv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        const std::size_t take = std::min(max, items_.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        return take;
+    }
+
+    /** Pop one item; @return false when closed-and-drained. */
+    bool pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        readyCv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /** Refuse new pushes; wake poppers once the backlog drains. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        readyCv_.notify_all();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable readyCv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace smtflex
+
+#endif // SMTFLEX_SERVE_REQUEST_QUEUE_H

@@ -1,0 +1,59 @@
+#include "response_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace smtflex {
+namespace serve {
+
+ResponseCache::ResponseCache(std::size_t capacity)
+    : perShard_(std::max<std::size_t>(1, capacity / kNumShards))
+{
+}
+
+std::size_t
+ResponseCache::shardOf(const std::string &key) const
+{
+    return std::hash<std::string>{}(key) % kNumShards;
+}
+
+std::optional<std::string>
+ResponseCache::lookup(const std::string &key) const
+{
+    const Shard &shard = shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResponseCache::store(const std::string &key, std::string body)
+{
+    Shard &shard = shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.entries.try_emplace(key);
+    it->second = std::move(body);
+    if (!inserted)
+        return; // overwrite keeps the original eviction position
+    shard.order.push_back(key);
+    while (shard.order.size() > perShard_) {
+        shard.entries.erase(shard.order.front());
+        shard.order.pop_front();
+    }
+}
+
+std::size_t
+ResponseCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+} // namespace serve
+} // namespace smtflex

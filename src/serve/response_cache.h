@@ -1,0 +1,61 @@
+/**
+ * @file
+ * In-memory memoisation of rendered responses, keyed by a request's
+ * canonical form (Request::canonicalKey). Mirrors the study-layer
+ * ResultCache's sharding idiom — per-shard mutexes so concurrent pool
+ * workers store without contending — but holds bounded, process-local
+ * state: response text is cheap to recompute from the persistent
+ * ResultCache underneath, so shards evict FIFO past a size cap rather
+ * than spilling to disk.
+ */
+
+#ifndef SMTFLEX_SERVE_RESPONSE_CACHE_H
+#define SMTFLEX_SERVE_RESPONSE_CACHE_H
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace smtflex {
+namespace serve {
+
+class ResponseCache
+{
+  public:
+    static constexpr std::size_t kNumShards = 8;
+
+    /** @p capacity bounds the total entry count (split across shards). */
+    explicit ResponseCache(std::size_t capacity = 4096);
+
+    /** The memoised response body for @p key, or nullopt. */
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    /** Memoise @p body under @p key, evicting the shard's oldest entries
+     * past its capacity share. Overwrites an existing entry. */
+    void store(const std::string &key, std::string body);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return perShard_ * kNumShards; }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, std::string> entries;
+        std::deque<std::string> order; ///< insertion order, for eviction
+    };
+
+    std::size_t shardOf(const std::string &key) const;
+
+    std::size_t perShard_;
+    std::array<Shard, kNumShards> shards_;
+};
+
+} // namespace serve
+} // namespace smtflex
+
+#endif // SMTFLEX_SERVE_RESPONSE_CACHE_H

@@ -1,0 +1,649 @@
+#include "server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "exec/experiment_runner.h"
+#include "exec/thread_pool.h"
+
+namespace smtflex {
+namespace serve {
+
+namespace {
+
+/** epoll user-data slots below this value are the server's own fds. */
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kStopTag = 1;
+constexpr std::uint64_t kWakeTag = 2;
+
+std::atomic<Server *> gSignalServer{nullptr};
+
+void
+onTerminationSignal(int)
+{
+    if (Server *server = gSignalServer.load())
+        server->requestStop();
+}
+
+void
+makePipe(int fds[2])
+{
+    if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0)
+        fatal("serve: pipe2 failed: ", std::strerror(errno));
+}
+
+void
+drainPipe(int fd)
+{
+    char buf[64];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), engine_(options_.study),
+      responses_(options_.responseCacheCapacity)
+{
+    makePipe(stopPipe_);
+    makePipe(wakePipe_);
+    const std::size_t jobs = exec::ThreadPool::global().concurrency();
+    batchMax_ = options_.batchMax ? options_.batchMax : jobs;
+    const std::size_t capacity =
+        options_.queueCapacity ? options_.queueCapacity : 2 * jobs;
+    queue_ = std::make_unique<BoundedQueue<Job>>(capacity);
+}
+
+Server::~Server()
+{
+    if (gSignalServer.load() == this)
+        installSignalHandlers(nullptr);
+    if (dispatcher_.joinable()) {
+        queue_->close();
+        dispatcher_.join();
+    }
+    for (auto &[id, conn] : connections_) {
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    }
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+    for (const int fd : {stopPipe_[0], stopPipe_[1], wakePipe_[0],
+                         wakePipe_[1]}) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+Server::installSignalHandlers(Server *server)
+{
+    gSignalServer.store(server);
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = server ? onTerminationSignal : SIG_DFL;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void
+Server::requestStop()
+{
+    // Async-signal-safe: one write on the pre-opened pipe.
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stopPipe_[1], &byte, 1);
+}
+
+void
+Server::bind()
+{
+    if (listenFd_ >= 0)
+        return;
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listenFd_ < 0)
+        fatal("serve: socket failed: ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+        fatal("serve: invalid listen address '", options_.host, "'");
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("serve: cannot bind ", options_.host, ":", options_.port, ": ",
+              std::strerror(errno));
+    if (::listen(listenFd_, SOMAXCONN) != 0)
+        fatal("serve: listen failed: ", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        fatal("serve: getsockname failed: ", std::strerror(errno));
+    boundPort_ = ntohs(addr.sin_port);
+}
+
+void
+Server::run()
+{
+    bind();
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd_ < 0)
+        fatal("serve: epoll_create1 failed: ", std::strerror(errno));
+
+    auto watch = [&](int fd, std::uint64_t tag, std::uint32_t events) {
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = events;
+        ev.data.u64 = tag;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+            fatal("serve: epoll_ctl failed: ", std::strerror(errno));
+    };
+    watch(listenFd_, kListenerTag, EPOLLIN);
+    watch(stopPipe_[0], kStopTag, EPOLLIN);
+    watch(wakePipe_[0], kWakeTag, EPOLLIN);
+
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+    eventLoop();
+
+    // Drain complete: every queued/in-flight request answered and every
+    // response flushed. Persist what the engine learned and leave.
+    dispatcher_.join();
+    engine_.resultCache().flush();
+    for (auto &[id, conn] : connections_) {
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    connections_.clear();
+    ::close(epollFd_);
+    epollFd_ = -1;
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+bool
+Server::drained() const
+{
+    if (!draining_)
+        return false;
+    if (!inFlight_.empty() || executing_.load() != 0 || queue_->size() != 0)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(completionsMutex_);
+        if (!completions_.empty())
+            return false;
+    }
+    for (const auto &[id, conn] : connections_) {
+        if (conn->outOffset < conn->outBuffer.size())
+            return false;
+    }
+    return true;
+}
+
+void
+Server::eventLoop()
+{
+    std::vector<epoll_event> events(64);
+    while (true) {
+        const int n = ::epoll_wait(epollFd_, events.data(),
+                                   static_cast<int>(events.size()),
+                                   draining_ ? 50 : -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("serve: epoll_wait failed: ", std::strerror(errno));
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t tag = events[i].data.u64;
+            const std::uint32_t mask = events[i].events;
+            if (tag == kListenerTag) {
+                acceptConnections();
+            } else if (tag == kStopTag) {
+                drainPipe(stopPipe_[0]);
+                if (!draining_) {
+                    draining_ = true;
+                    // Reject new connections; keep serving live ones
+                    // until the backlog drains.
+                    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+                    queue_->close();
+                }
+            } else if (tag == kWakeTag) {
+                drainPipe(wakePipe_[0]);
+                drainCompletions();
+            } else {
+                const auto it = connections_.find(tag);
+                if (it == connections_.end())
+                    continue;
+                Connection &conn = *it->second;
+                if (mask & (EPOLLHUP | EPOLLERR)) {
+                    closeConnection(conn.id);
+                    continue;
+                }
+                if (mask & EPOLLIN)
+                    handleReadable(conn);
+                // The read handler may close the connection; re-check.
+                if (connections_.count(tag) && (mask & EPOLLOUT))
+                    handleWritable(*connections_.at(tag));
+            }
+        }
+        drainCompletions();
+        if (drained())
+            return;
+    }
+}
+
+void
+Server::acceptConnections()
+{
+    while (true) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            warn("serve: accept failed: ", std::strerror(errno));
+            return;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->id = nextConnectionId_++;
+        conn->decoder = FrameDecoder(options_.maxFrame);
+
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN;
+        ev.data.u64 = conn->id;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            warn("serve: epoll_ctl(conn) failed: ", std::strerror(errno));
+            ::close(fd);
+            continue;
+        }
+        stats_.connectionsAccepted.fetch_add(1);
+        connections_.emplace(conn->id, std::move(conn));
+    }
+}
+
+void
+Server::handleReadable(Connection &conn)
+{
+    char buf[16 * 1024];
+    while (true) {
+        const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+        if (n > 0) {
+            conn.decoder.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            closeConnection(conn.id);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        closeConnection(conn.id);
+        return;
+    }
+
+    std::string payload;
+    while (true) {
+        try {
+            if (!conn.decoder.next(payload))
+                break;
+        } catch (const FatalError &e) {
+            // Oversized frame: the stream position is unrecoverable.
+            // Mark for close first — sendRaw may flush (and close) the
+            // connection synchronously, after which conn is gone.
+            stats_.badRequests.fetch_add(1);
+            conn.closeAfterFlush = true;
+            Json body = makeError("frame_too_large", e.what());
+            body.set("id", Json::number(std::uint64_t{0}));
+            sendRaw(conn, body.dump());
+            return;
+        }
+        processPayload(conn, payload);
+        if (!connections_.count(conn.id))
+            return; // processPayload closed it
+    }
+}
+
+void
+Server::processPayload(Connection &conn, const std::string &payload)
+{
+    stats_.requestsReceived.fetch_add(1);
+    Json doc;
+    try {
+        doc = Json::parse(payload);
+    } catch (const FatalError &e) {
+        stats_.badRequests.fetch_add(1);
+        Json body = makeError("bad_request", e.what());
+        body.set("id", Json::number(std::uint64_t{0}));
+        sendRaw(conn, body.dump());
+        return;
+    }
+
+    Request request;
+    try {
+        request = parseRequest(doc);
+    } catch (const FatalError &e) {
+        stats_.badRequests.fetch_add(1);
+        Json body = makeError("bad_request", e.what());
+        body.set("id", Json::number(extractId(doc)));
+        sendRaw(conn, body.dump());
+        return;
+    }
+
+    // Fast paths answered on the I/O thread.
+    if (request.op == Op::kStats) {
+        sendBody(conn, statsBody(), request.id);
+        return;
+    }
+    if (request.op == Op::kPing && request.delayMs == 0) {
+        Json body = makeResponse(Op::kPing);
+        body.set("pong", Json::boolean(true));
+        sendBody(conn, body, request.id);
+        return;
+    }
+    admit(conn, std::move(request));
+}
+
+void
+Server::admit(Connection &conn, Request request)
+{
+    if (draining_) {
+        stats_.shutdownRejected.fetch_add(1);
+        sendBody(conn, makeError("shutting_down", "server is draining"),
+                 request.id);
+        return;
+    }
+
+    std::string key = request.canonicalKey();
+    const bool cacheable = !key.empty();
+    if (cacheable) {
+        if (const auto hit = responses_.lookup(key)) {
+            stats_.cacheHits.fetch_add(1);
+            sendBody(conn, Json::parse(*hit), request.id);
+            return;
+        }
+    } else {
+        // Delayed pings never coalesce: give each a unique key.
+        key = "ping;" + std::to_string(conn.id) + ';' +
+            std::to_string(pingSequence_++);
+    }
+
+    Waiter waiter{conn.id, request.id, request.hasId};
+    const auto it = inFlight_.find(key);
+    if (it != inFlight_.end()) {
+        // Same simulation already on its way: share the computation.
+        stats_.coalesced.fetch_add(1);
+        it->second.push_back(waiter);
+        return;
+    }
+
+    Job job;
+    job.request = std::move(request);
+    job.key = key;
+    if (job.request.deadlineMs > 0) {
+        job.hasDeadline = true;
+        job.deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(job.request.deadlineMs);
+    }
+    if (!queue_->tryPush(std::move(job))) {
+        stats_.overloaded.fetch_add(1);
+        sendBody(conn,
+                 makeError("overloaded", "admission queue is full; retry"),
+                 waiter.requestId);
+        return;
+    }
+    inFlight_.emplace(std::move(key), std::vector<Waiter>{waiter});
+}
+
+Json
+Server::statsBody() const
+{
+    Json body = makeResponse(Op::kStats);
+    Json stats = Json::object();
+    stats.set("connections", Json::number(stats_.connectionsAccepted.load()));
+    stats.set("requests", Json::number(stats_.requestsReceived.load()));
+    stats.set("responses", Json::number(stats_.responsesSent.load()));
+    stats.set("cache_hits", Json::number(stats_.cacheHits.load()));
+    stats.set("coalesced", Json::number(stats_.coalesced.load()));
+    stats.set("overloaded", Json::number(stats_.overloaded.load()));
+    stats.set("deadline_expired",
+              Json::number(stats_.deadlineExpired.load()));
+    stats.set("bad_requests", Json::number(stats_.badRequests.load()));
+    stats.set("shutdown_rejected",
+              Json::number(stats_.shutdownRejected.load()));
+    stats.set("executed", Json::number(stats_.executed.load()));
+    stats.set("queue_depth", Json::number(std::uint64_t{queue_->size()}));
+    stats.set("queue_capacity",
+              Json::number(std::uint64_t{queue_->capacity()}));
+    stats.set("in_flight", Json::number(std::uint64_t{inFlight_.size()}));
+    stats.set("jobs",
+              Json::number(std::uint64_t{
+                  exec::ThreadPool::global().concurrency()}));
+    stats.set("response_cache_entries",
+              Json::number(std::uint64_t{responses_.size()}));
+    stats.set("result_cache_entries",
+              Json::number(std::uint64_t{engine_.resultCache().size()}));
+    stats.set("result_cache_path",
+              Json::string(engine_.resultCache().path()));
+    stats.set("draining", Json::boolean(draining_));
+    body.set("stats", std::move(stats));
+    return body;
+}
+
+void
+Server::sendBody(Connection &conn, const Json &body, std::uint64_t id)
+{
+    Json copy = body;
+    copy.set("id", Json::number(id));
+    sendRaw(conn, copy.dump());
+}
+
+void
+Server::sendRaw(Connection &conn, const std::string &payload)
+{
+    conn.outBuffer += encodeFrame(payload);
+    stats_.responsesSent.fetch_add(1);
+    handleWritable(conn);
+}
+
+void
+Server::handleWritable(Connection &conn)
+{
+    while (conn.outOffset < conn.outBuffer.size()) {
+        const ssize_t n =
+            ::write(conn.fd, conn.outBuffer.data() + conn.outOffset,
+                    conn.outBuffer.size() - conn.outOffset);
+        if (n > 0) {
+            conn.outOffset += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!conn.wantWrite) {
+                conn.wantWrite = true;
+                updateEpoll(conn);
+            }
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        closeConnection(conn.id);
+        return;
+    }
+    // Fully flushed.
+    conn.outBuffer.clear();
+    conn.outOffset = 0;
+    if (conn.wantWrite) {
+        conn.wantWrite = false;
+        updateEpoll(conn);
+    }
+    if (conn.closeAfterFlush)
+        closeConnection(conn.id);
+}
+
+void
+Server::updateEpoll(Connection &conn)
+{
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | (conn.wantWrite ? EPOLLOUT : 0);
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void
+Server::closeConnection(std::uint64_t connection_id)
+{
+    const auto it = connections_.find(connection_id);
+    if (it == connections_.end())
+        return;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    connections_.erase(it);
+}
+
+void
+Server::drainCompletions()
+{
+    while (true) {
+        Completion completion;
+        {
+            std::lock_guard<std::mutex> lock(completionsMutex_);
+            if (completions_.empty())
+                return;
+            completion = std::move(completions_.front());
+            completions_.pop_front();
+        }
+        const auto it = inFlight_.find(completion.key);
+        if (it == inFlight_.end())
+            continue;
+        const Json body = Json::parse(completion.body);
+        for (const Waiter &waiter : it->second) {
+            const auto connIt = connections_.find(waiter.connectionId);
+            if (connIt == connections_.end())
+                continue; // client went away; result stays memoised
+            Json copy = body;
+            copy.set("id", Json::number(waiter.requestId));
+            sendRaw(*connIt->second, copy.dump());
+        }
+        inFlight_.erase(it);
+    }
+}
+
+void
+Server::postCompletion(Completion completion)
+{
+    {
+        std::lock_guard<std::mutex> lock(completionsMutex_);
+        completions_.push_back(std::move(completion));
+    }
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wakePipe_[1], &byte, 1);
+}
+
+Server::Completion
+Server::executeJob(const Job &job)
+{
+    Completion completion;
+    completion.key = job.key;
+    if (job.hasDeadline && std::chrono::steady_clock::now() > job.deadline) {
+        stats_.deadlineExpired.fetch_add(1);
+        completion.body =
+            makeError("deadline", "deadline expired before execution")
+                .dump();
+        return completion;
+    }
+    try {
+        Json body;
+        switch (job.request.op) {
+          case Op::kPing:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(job.request.delayMs));
+            body = makeResponse(Op::kPing);
+            body.set("pong", Json::boolean(true));
+            break;
+          case Op::kRun:
+            body = makeResponse(Op::kRun);
+            body.set("output",
+                     Json::string(runText(engine_, job.request.run)));
+            completion.cacheable = true;
+            break;
+          case Op::kSweep:
+            body = makeResponse(Op::kSweep);
+            body.set("output",
+                     Json::string(sweepText(engine_, job.request.sweep)));
+            completion.cacheable = true;
+            break;
+          case Op::kIsolated:
+            body = makeResponse(Op::kIsolated);
+            body.set("output",
+                     Json::string(
+                         isolatedText(engine_, job.request.isolated)));
+            completion.cacheable = true;
+            break;
+          case Op::kStats:
+            body = statsBody(); // unreachable: stats is inline
+            break;
+        }
+        stats_.executed.fetch_add(1);
+        completion.body = body.dump();
+    } catch (const FatalError &e) {
+        completion.cacheable = false;
+        completion.body = makeError("failed", e.what()).dump();
+    } catch (const std::exception &e) {
+        completion.cacheable = false;
+        completion.body = makeError("internal", e.what()).dump();
+    }
+    return completion;
+}
+
+void
+Server::dispatcherLoop()
+{
+    std::vector<Job> batch;
+    exec::ExperimentRunner runner;
+    while (queue_->popBatch(batch, batchMax_) > 0) {
+        executing_.store(batch.size());
+        // One pool task per request: independent simulations spread over
+        // the work-stealing pool, exactly like a figure sweep.
+        auto completions =
+            runner.mapItems(batch, [&](const Job &job) {
+                return executeJob(job);
+            });
+        executing_.store(0);
+        for (auto &completion : completions) {
+            if (completion.cacheable)
+                responses_.store(completion.key, completion.body);
+            postCompletion(std::move(completion));
+        }
+    }
+}
+
+} // namespace serve
+} // namespace smtflex

@@ -166,6 +166,16 @@ ResultCache::store(const std::string &key, const std::vector<double> &values)
     shard.out.flush();
 }
 
+void
+ResultCache::flush()
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        if (shard->out.is_open())
+            shard->out.flush();
+    }
+}
+
 std::size_t
 ResultCache::size() const
 {

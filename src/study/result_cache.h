@@ -67,6 +67,10 @@ class ResultCache
     std::size_t size() const;
     const std::string &path() const { return path_; }
 
+    /** Flush every shard's append stream to disk (graceful-shutdown
+     * hook; individual stores already flush their own record). */
+    void flush();
+
     /** Escape/unescape a key for the on-disk format (exposed for tests). */
     static std::string escapeKey(const std::string &key);
     static std::string unescapeKey(const std::string &escaped);

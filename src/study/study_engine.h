@@ -100,6 +100,11 @@ class StudyEngine
     const StudyOptions &options() const { return options_; }
     const PowerModel &powerModel() const { return power_; }
 
+    /** The engine's persistent memoisation cache (shared with the serve
+     * layer for stats reporting and shutdown flushing). */
+    ResultCache &resultCache() { return cache_; }
+    const ResultCache &resultCache() const { return cache_; }
+
     /** Apply the study's bandwidth option to @p config. */
     ChipConfig configured(const ChipConfig &config) const;
 

@@ -64,6 +64,41 @@ TEST_F(EnvTest, MalformedDoublesAreFatal)
     }
 }
 
+TEST(ParseTest, StrictParsersAcceptWellFormedText)
+{
+    // The same parsers back the env helpers, the CLI's --flag values and
+    // the serve protocol's string-typed integer fields.
+    EXPECT_EQ(parseU64("0", "x"), 0u);
+    EXPECT_EQ(parseU64("18446744073709551615", "x"),
+              18446744073709551615ull);
+    EXPECT_EQ(parseU32("4294967295", "x"), 4294967295u);
+    EXPECT_DOUBLE_EQ(parseDouble("-2.5e3", "x"), -2500.0);
+}
+
+TEST(ParseTest, StrictParsersRejectGarbage)
+{
+    for (const char *bad : {"", "abc", "12x", "-3", " 12", "1.5", "0x10"}) {
+        EXPECT_THROW(parseU64(bad, "field"), FatalError)
+            << "'" << bad << "'";
+    }
+    EXPECT_THROW(parseU64("18446744073709551616", "field"), FatalError);
+    EXPECT_THROW(parseU32("4294967296", "field"), FatalError);
+    for (const char *bad : {"", "abc", "1.5x", "--2"}) {
+        EXPECT_THROW(parseDouble(bad, "field"), FatalError)
+            << "'" << bad << "'";
+    }
+}
+
+TEST(ParseTest, ErrorMessageNamesTheField)
+{
+    try {
+        parseU64("junk", "--seed");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos);
+    }
+}
+
 TEST_F(EnvTest, FlagSpellings)
 {
     for (const char *yes : {"1", "true", "TRUE", "on", "Yes"}) {

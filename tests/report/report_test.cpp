@@ -96,5 +96,69 @@ TEST(SimReportTest, CoreCsvHasOneRowPerCore)
     EXPECT_NE(text.find("B"), std::string::npos);
 }
 
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::istringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ','))
+        fields.push_back(field);
+    return fields;
+}
+
+TEST(SimReportTest, ThreadCsvRoundTripsNumericValues)
+{
+    // Serialize, parse the CSV back, and check the numbers survive — the
+    // serve layer ships these reports over the wire, so the text form
+    // must reconstruct the result exactly at printed precision.
+    const SimResult result = sampleResult();
+    std::ostringstream out;
+    writeThreadCsv(out, result);
+    std::istringstream in(out.str());
+
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const std::vector<std::string> header = splitCsvLine(line);
+    const auto column = [&](const char *name) {
+        for (std::size_t i = 0; i < header.size(); ++i) {
+            if (header[i] == name)
+                return i;
+        }
+        ADD_FAILURE() << "missing column " << name;
+        return std::size_t{0};
+    };
+    const std::size_t benchCol = column("benchmark");
+    const std::size_t budgetCol = column("budget");
+    const std::size_t ipcCol = column("ipc");
+
+    for (const auto &thread : result.threads) {
+        ASSERT_TRUE(std::getline(in, line));
+        const std::vector<std::string> fields = splitCsvLine(line);
+        ASSERT_GT(fields.size(), std::max(budgetCol, ipcCol));
+        EXPECT_EQ(fields[benchCol], thread.benchmark);
+        EXPECT_EQ(std::stoull(fields[budgetCol]),
+                  static_cast<unsigned long long>(thread.budget));
+        EXPECT_NEAR(std::stod(fields[ipcCol]), thread.ipc(), 1e-4);
+    }
+    EXPECT_FALSE(std::getline(in, line)); // no extra rows
+}
+
+TEST(SimReportTest, IdenticalRunsSerializeIdentically)
+{
+    // The serve response cache keys on the request: two runs of the same
+    // spec must render byte-identical reports for memoisation to be
+    // transparent.
+    const SimResult a = sampleResult();
+    const SimResult b = sampleResult();
+    std::ostringstream textA, textB, csvA, csvB;
+    writeTextReport(textA, a, PowerModel{});
+    writeTextReport(textB, b, PowerModel{});
+    writeThreadCsv(csvA, a);
+    writeThreadCsv(csvB, b);
+    EXPECT_EQ(textA.str(), textB.str());
+    EXPECT_EQ(csvA.str(), csvB.str());
+}
+
 } // namespace
 } // namespace smtflex

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the serve wire protocol: frame encoding/decoding under
+ * arbitrary fragmentation, oversized-frame poisoning, request parsing and
+ * validation, and canonical coalescing keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/log.h"
+#include "serve/protocol.h"
+
+namespace smtflex {
+namespace serve {
+namespace {
+
+TEST(FrameTest, EncodePrefixesBigEndianLength)
+{
+    const std::string frame = encodeFrame("abc");
+    ASSERT_EQ(frame.size(), 7u);
+    EXPECT_EQ(frame[0], '\0');
+    EXPECT_EQ(frame[1], '\0');
+    EXPECT_EQ(frame[2], '\0');
+    EXPECT_EQ(frame[3], '\x03');
+    EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(FrameTest, DecodeWholeFrame)
+{
+    FrameDecoder decoder;
+    const std::string frame = encodeFrame("{\"op\":\"ping\"}");
+    decoder.feed(frame.data(), frame.size());
+    std::string payload;
+    ASSERT_TRUE(decoder.next(payload));
+    EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+    EXPECT_FALSE(decoder.next(payload));
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, DecodeByteByByte)
+{
+    // A frame arriving in 1-byte reads must still decode (TCP gives no
+    // fragmentation guarantees).
+    FrameDecoder decoder;
+    const std::string frame = encodeFrame("hello world");
+    std::string payload;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        EXPECT_FALSE(decoder.next(payload)) << "at byte " << i;
+        decoder.feed(frame.data() + i, 1);
+    }
+    ASSERT_TRUE(decoder.next(payload));
+    EXPECT_EQ(payload, "hello world");
+}
+
+TEST(FrameTest, DecodeCoalescedFrames)
+{
+    // Several frames in one read, plus a partial trailer.
+    FrameDecoder decoder;
+    const std::string first = encodeFrame("one");
+    const std::string second = encodeFrame("two");
+    const std::string third = encodeFrame("three");
+    std::string stream = first + second + third.substr(0, 5);
+    decoder.feed(stream.data(), stream.size());
+
+    std::string payload;
+    ASSERT_TRUE(decoder.next(payload));
+    EXPECT_EQ(payload, "one");
+    ASSERT_TRUE(decoder.next(payload));
+    EXPECT_EQ(payload, "two");
+    EXPECT_FALSE(decoder.next(payload));
+
+    const std::string rest = third.substr(5);
+    decoder.feed(rest.data(), rest.size());
+    ASSERT_TRUE(decoder.next(payload));
+    EXPECT_EQ(payload, "three");
+}
+
+TEST(FrameTest, EmptyPayloadIsAFrame)
+{
+    FrameDecoder decoder;
+    const std::string frame = encodeFrame("");
+    decoder.feed(frame.data(), frame.size());
+    std::string payload = "sentinel";
+    ASSERT_TRUE(decoder.next(payload));
+    EXPECT_EQ(payload, "");
+}
+
+TEST(FrameTest, OversizedFramePoisonsTheDecoder)
+{
+    FrameDecoder decoder(16);
+    const std::string frame = encodeFrame(std::string(17, 'x'));
+    decoder.feed(frame.data(), frame.size());
+    std::string payload;
+    EXPECT_THROW(decoder.next(payload), FatalError);
+    // Poisoned: every later next() fails too, even after more bytes.
+    const std::string ok = encodeFrame("ok");
+    decoder.feed(ok.data(), ok.size());
+    EXPECT_THROW(decoder.next(payload), FatalError);
+}
+
+TEST(FrameTest, MaxFrameBoundaryIsExact)
+{
+    FrameDecoder decoder(8);
+    const std::string frame = encodeFrame(std::string(8, 'y'));
+    decoder.feed(frame.data(), frame.size());
+    std::string payload;
+    ASSERT_TRUE(decoder.next(payload));
+    EXPECT_EQ(payload.size(), 8u);
+}
+
+// ---- request parsing ----
+
+TEST(ParseRequestTest, PingAndStats)
+{
+    const Request ping = parseRequest(Json::parse("{\"op\":\"ping\"}"));
+    EXPECT_EQ(ping.op, Op::kPing);
+    EXPECT_FALSE(ping.hasId);
+    EXPECT_TRUE(ping.canonicalKey().empty());
+
+    const Request stats = parseRequest(Json::parse("{\"op\":\"stats\"}"));
+    EXPECT_EQ(stats.op, Op::kStats);
+}
+
+TEST(ParseRequestTest, RunFieldsAndDefaults)
+{
+    const Request req = parseRequest(Json::parse(
+        "{\"op\":\"run\",\"design\":\"2B4m\","
+        "\"workload\":[\"mcf\",\"hmmer\"],\"budget\":5000,"
+        "\"no_smt\":true,\"id\":9,\"deadline_ms\":250}"));
+    EXPECT_EQ(req.op, Op::kRun);
+    EXPECT_TRUE(req.hasId);
+    EXPECT_EQ(req.id, 9u);
+    EXPECT_EQ(req.deadlineMs, 250u);
+    EXPECT_EQ(req.run.design, "2B4m");
+    ASSERT_EQ(req.run.workload.size(), 2u);
+    EXPECT_EQ(req.run.budget, 5000u);
+    EXPECT_EQ(req.run.warmup, 3000u); // default
+    EXPECT_EQ(req.run.seed, 42u);     // default
+    EXPECT_TRUE(req.run.noSmt);
+}
+
+TEST(ParseRequestTest, IntegerFieldsAcceptDecimalStrings)
+{
+    // Protocol integers route through the strict common/env.h parsers, so
+    // string-typed numbers work but garbage is a validation error.
+    const Request req = parseRequest(Json::parse(
+        "{\"op\":\"run\",\"workload\":[\"mcf\"],\"budget\":\"7000\","
+        "\"seed\":\"1\"}"));
+    EXPECT_EQ(req.run.budget, 7000u);
+    EXPECT_EQ(req.run.seed, 1u);
+    EXPECT_THROW(parseRequest(Json::parse(
+                     "{\"op\":\"run\",\"workload\":[\"mcf\"],"
+                     "\"budget\":\"7k\"}")),
+                 FatalError);
+    EXPECT_THROW(parseRequest(Json::parse(
+                     "{\"op\":\"run\",\"workload\":[\"mcf\"],"
+                     "\"budget\":\"\"}")),
+                 FatalError);
+}
+
+TEST(ParseRequestTest, ValidationRejectsBadRequests)
+{
+    // Unknown op.
+    EXPECT_THROW(parseRequest(Json::parse("{\"op\":\"fly\"}")), FatalError);
+    // Missing op.
+    EXPECT_THROW(parseRequest(Json::parse("{}")), FatalError);
+    // Not an object.
+    EXPECT_THROW(parseRequest(Json::parse("[1,2]")), FatalError);
+    // Unknown design.
+    EXPECT_THROW(parseRequest(Json::parse(
+                     "{\"op\":\"run\",\"design\":\"99Z\","
+                     "\"workload\":[\"mcf\"]}")),
+                 FatalError);
+    // Unknown benchmark.
+    EXPECT_THROW(parseRequest(Json::parse(
+                     "{\"op\":\"run\",\"workload\":[\"nosuch\"]}")),
+                 FatalError);
+    // Empty workload.
+    EXPECT_THROW(
+        parseRequest(Json::parse("{\"op\":\"run\",\"workload\":[]}")),
+        FatalError);
+    // sweep: bench and het are mutually exclusive.
+    EXPECT_THROW(parseRequest(Json::parse(
+                     "{\"op\":\"sweep\",\"bench\":\"mcf\",\"het\":true}")),
+                 FatalError);
+}
+
+TEST(ParseRequestTest, CanonicalKeyIgnoresIdAndDeadline)
+{
+    const char *base =
+        "{\"op\":\"run\",\"workload\":[\"mcf\"],\"budget\":4000";
+    const Request a =
+        parseRequest(Json::parse(std::string(base) + ",\"id\":1}"));
+    const Request b = parseRequest(Json::parse(
+        std::string(base) + ",\"id\":2,\"deadline_ms\":100}"));
+    EXPECT_FALSE(a.canonicalKey().empty());
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(ParseRequestTest, CanonicalKeyFillsDefaults)
+{
+    // Explicitly passing a default value and omitting it name the same
+    // simulation, so they must share a key (and thus a cache entry).
+    const Request implicit = parseRequest(
+        Json::parse("{\"op\":\"run\",\"workload\":[\"mcf\"]}"));
+    const Request explicitReq = parseRequest(Json::parse(
+        "{\"op\":\"run\",\"workload\":[\"mcf\"],\"budget\":12000,"
+        "\"warmup\":3000,\"seed\":42,\"design\":\"4B\"}"));
+    EXPECT_EQ(implicit.canonicalKey(), explicitReq.canonicalKey());
+}
+
+TEST(ParseRequestTest, CanonicalKeySeparatesDifferentWork)
+{
+    const Request a = parseRequest(
+        Json::parse("{\"op\":\"run\",\"workload\":[\"mcf\"]}"));
+    const Request b = parseRequest(
+        Json::parse("{\"op\":\"run\",\"workload\":[\"hmmer\"]}"));
+    const Request c = parseRequest(
+        Json::parse("{\"op\":\"isolated\",\"benches\":[\"mcf\"]}"));
+    EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+    EXPECT_NE(a.canonicalKey(), c.canonicalKey());
+}
+
+TEST(ParseRequestTest, ExtractIdIsBestEffort)
+{
+    EXPECT_EQ(extractId(Json::parse("{\"id\":7,\"op\":\"fly\"}")), 7u);
+    EXPECT_EQ(extractId(Json::parse("{\"op\":\"ping\"}")), 0u);
+    EXPECT_EQ(extractId(Json::parse("{\"id\":\"not-a-number\"}")), 0u);
+    EXPECT_EQ(extractId(Json::parse("[]")), 0u);
+}
+
+TEST(ProtocolTest, ResponseEnvelopes)
+{
+    const Json ok = makeResponse(Op::kRun);
+    EXPECT_TRUE(ok.at("ok").asBool());
+    EXPECT_EQ(ok.at("op").asString(), "run");
+
+    const Json err = makeError("overloaded", "queue full");
+    EXPECT_FALSE(err.at("ok").asBool());
+    EXPECT_EQ(err.at("error").asString(), "overloaded");
+    EXPECT_EQ(err.at("message").asString(), "queue full");
+}
+
+} // namespace
+} // namespace serve
+} // namespace smtflex

@@ -1,16 +1,21 @@
 /**
  * @file
  * The smtflex command-line front end: run simulations, sweeps and
- * characterisations without writing C++.
+ * characterisations without writing C++, or serve them over TCP.
  *
  *   smtflex designs
  *   smtflex benchmarks
- *   smtflex isolated <bench> [...]
+ *   smtflex isolated <bench> [...] [--cache FILE]
  *   smtflex run    --design 4B --workload mcf,hmmer,tonto [--no-smt]
  *                  [--budget N] [--warmup N] [--seed N] [--bw GBps]
- *                  [--prefetch] [--naive-sched]
+ *                  [--prefetch] [--naive-sched] [--cache FILE]
  *   smtflex sweep  --design 4B [--bench tonto | --het] [--no-smt]
  *   smtflex parsec --app ferret --design 20s --threads 16 [--throttle]
+ *   smtflex serve  --port 7333 --jobs 8 [--queue N] [--cache FILE]
+ *
+ * The run/sweep/isolated commands render through the same
+ * serve::commands core the network server uses, so `smtflex serve`
+ * responses are byte-identical to this CLI's output.
  */
 
 #include <cstdio>
@@ -22,18 +27,19 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/log.h"
-#include "exec/experiment_runner.h"
+#include "exec/thread_pool.h"
 #include "report/sim_report.h"
-#include "trace/trace_io.h"
-#include "metrics/metrics.h"
-#include "sched/scheduler.h"
+#include "serve/commands.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "sim/chip_sim.h"
 #include "sim/power_summary.h"
 #include "study/design_space.h"
 #include "study/study_engine.h"
 #include "trace/spec_profiles.h"
-#include "workload/multiprogram.h"
+#include "trace/trace_io.h"
 #include "workload/parsec.h"
 #include "workload/parsec_runner.h"
 
@@ -70,13 +76,13 @@ class Args
         return it == values_.end() ? fallback : it->second;
     }
 
+    /** Strictly parsed integer flag: `--seed abc` is fatal, not 0. */
     std::uint64_t
     getInt(const std::string &key, std::uint64_t fallback) const
     {
         const auto it = values_.find(key);
-        return it == values_.end()
-            ? fallback
-            : std::strtoull(it->second.c_str(), nullptr, 10);
+        return it == values_.end() ? fallback
+                                   : parseU64(it->second, "--" + key);
     }
 
     double
@@ -84,42 +90,29 @@ class Args
     {
         const auto it = values_.find(key);
         return it == values_.end() ? fallback
-                                   : std::atof(it->second.c_str());
+                                   : parseDouble(it->second, "--" + key);
     }
 
   private:
     std::map<std::string, std::string> values_;
 };
 
+/** StudyOptions from the environment plus the --cache override. */
+StudyOptions
+studyOptionsFromArgs(const Args &args)
+{
+    StudyOptions opts = StudyOptions::fromEnv();
+    if (args.has("cache"))
+        opts.cachePath = args.get("cache");
+    return opts;
+}
+
 ChipConfig
 designFromArgs(const Args &args)
 {
-    const std::string name = args.get("design", "4B");
-    ChipConfig cfg;
-    bool found = false;
-    for (const auto &known : paperDesignNames()) {
-        if (known == name) {
-            cfg = paperDesign(name);
-            found = true;
-        }
-    }
-    for (const auto &known : alternativeDesignNames()) {
-        if (known == name) {
-            cfg = alternativeDesign(name);
-            found = true;
-        }
-    }
-    if (!found)
-        fatal("unknown design '", name, "' (see `smtflex designs`)");
-    if (args.has("no-smt"))
-        cfg = cfg.withSmt(false);
-    if (args.has("bw"))
-        cfg = cfg.withBandwidth(args.getDouble("bw", 8.0));
-    if (args.has("prefetch")) {
-        for (auto &core : cfg.cores)
-            core.dataPrefetch = true;
-    }
-    return cfg;
+    return serve::buildDesign(args.get("design", "4B"), args.has("no-smt"),
+                              args.has("bw"), args.getDouble("bw", 8.0),
+                              args.has("prefetch"));
 }
 
 int
@@ -169,133 +162,59 @@ cmdBenchmarks()
 int
 cmdIsolated(int argc, char **argv)
 {
-    StudyEngine eng;
-    std::printf("%-12s %8s %8s %8s %10s %10s\n", "bench", "big", "medium",
-                "small", "big/med", "big/small");
-    std::vector<std::string> benches;
-    for (int i = 2; i < argc; ++i)
-        benches.push_back(argv[i]);
-    if (benches.empty())
-        benches = specBenchmarkNames();
-    // The isolated characterisation runs are independent experiments; fan
-    // them out over SMTFLEX_JOBS workers and print in request order.
-    struct Row
-    {
-        double big = 0.0, medium = 0.0, small = 0.0;
-    };
-    exec::ExperimentRunner runner;
-    const auto rows = runner.mapItems(benches, [&](const std::string &bench) {
-        Row row;
-        row.big = eng.isolatedIpc(bench, CoreType::kBig);
-        row.medium = eng.isolatedIpc(bench, CoreType::kMedium);
-        row.small = eng.isolatedIpc(bench, CoreType::kSmall);
-        return row;
-    });
-    for (std::size_t i = 0; i < benches.size(); ++i) {
-        const Row &r = rows[i];
-        std::printf("%-12s %8.3f %8.3f %8.3f %10.2f %10.2f\n",
-                    benches[i].c_str(), r.big, r.medium, r.small,
-                    r.big / r.medium, r.big / r.small);
+    serve::IsolatedRequest req;
+    int firstFlag = argc;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) == 0) {
+            firstFlag = i;
+            break;
+        }
+        req.benches.push_back(argv[i]);
     }
+    const Args args(argc, argv, firstFlag);
+    StudyEngine eng(studyOptionsFromArgs(args));
+    std::fputs(serve::isolatedText(eng, req).c_str(), stdout);
     return 0;
 }
 
 int
 cmdRun(const Args &args)
 {
-    const ChipConfig cfg = designFromArgs(args);
+    serve::RunRequest req;
+    req.design = args.get("design", "4B");
     const std::string workload_arg = args.get("workload", "");
-    if (workload_arg.empty())
-        fatal("run: --workload bench1,bench2,... required");
-
-    MultiProgramWorkload workload;
-    workload.name = "cli";
     std::istringstream ss(workload_arg);
     std::string token;
     while (std::getline(ss, token, ','))
-        workload.programs.push_back(&specProfile(token));
+        req.workload.push_back(token);
+    req.budget = args.getInt("budget", 12'000);
+    req.warmup = args.getInt("warmup", 3'000);
+    req.seed = args.getInt("seed", 42);
+    req.noSmt = args.has("no-smt");
+    req.prefetch = args.has("prefetch");
+    req.naiveSched = args.has("naive-sched");
+    req.hasBw = args.has("bw");
+    req.bw = args.getDouble("bw", 8.0);
+    req.report = args.get("report", "");
 
-    const auto budget = args.getInt("budget", 12'000);
-    const auto warmup = args.getInt("warmup", 3'000);
-    const auto seed = args.getInt("seed", 42);
-    const auto specs = workload.specs(budget, warmup);
-
-    StudyEngine eng;
-    const Placement placement = args.has("naive-sched")
-        ? scheduleNaive(cfg, specs.size())
-        : scheduleOffline(cfg, specs, eng.offline());
-
-    ChipSim chip(cfg);
-    const SimResult result = chip.runMultiProgram(specs, placement, seed);
-
-    std::vector<double> isolated;
-    for (const auto &spec : specs)
-        isolated.push_back(eng.isolatedIpc(spec.profile->name,
-                                           CoreType::kBig));
-
-    std::printf("design %s, %zu programs, %llu cycles (%.2f us)\n\n",
-                cfg.name.c_str(), specs.size(),
-                static_cast<unsigned long long>(result.cycles),
-                result.seconds() * 1e6);
-    std::printf("%-12s %6s %6s %10s %10s\n", "program", "core", "slot",
-                "IPC", "norm.prog");
-    const auto np = normalisedProgress(result, isolated);
-    for (std::size_t i = 0; i < result.threads.size(); ++i) {
-        std::printf("%-12s %6u %6u %10.3f %10.3f\n",
-                    result.threads[i].benchmark.c_str(),
-                    placement.entries[i].core, placement.entries[i].slot,
-                    result.threads[i].ipc(), np[i]);
-    }
-    std::printf("\nSTP %.3f | ANTT %.3f\n",
-                systemThroughput(result, isolated),
-                avgNormalisedTurnaround(result, isolated));
-    const std::string report = args.get("report", "");
-    if (report == "text") {
-        std::ostringstream os;
-        writeTextReport(os, result, eng.powerModel());
-        std::printf("\n%s", os.str().c_str());
-    } else if (report == "csv-threads") {
-        std::ostringstream os;
-        writeThreadCsv(os, result);
-        std::printf("\n%s", os.str().c_str());
-    } else if (report == "csv-cores") {
-        std::ostringstream os;
-        writeCoreCsv(os, result, eng.powerModel());
-        std::printf("\n%s", os.str().c_str());
-    } else if (!report.empty()) {
-        fatal("unknown --report kind '", report, "'");
-    }
-    const PowerSummary power =
-        summarisePower(result, eng.powerModel(), true);
-    std::printf("power %.1f W (cores %.1f static + %.1f dynamic, uncore "
-                "%.1f) | energy %.2e J\n",
-                power.avgPowerW, power.coreStaticW, power.coreDynamicW,
-                power.uncoreW, power.energyJ);
+    StudyEngine eng(studyOptionsFromArgs(args));
+    std::fputs(serve::runText(eng, req).c_str(), stdout);
     return 0;
 }
 
 int
 cmdSweep(const Args &args)
 {
-    const ChipConfig cfg = designFromArgs(args);
-    StudyEngine eng;
-    const bool het = args.has("het");
-    const std::string bench = args.get("bench", "");
-    std::printf("%-8s %10s %10s %10s\n", "threads", "STP", "ANTT",
-                "power(W)");
-    for (const std::uint32_t n : eng.sweepThreadCounts()) {
-        if (n > cfg.totalContexts())
-            break;
-        RunMetrics m;
-        if (!bench.empty())
-            m = eng.homogeneousBenchmarkAt(cfg, bench, n);
-        else if (het)
-            m = eng.heterogeneousAt(cfg, n);
-        else
-            m = eng.homogeneousAt(cfg, n);
-        std::printf("%-8u %10.3f %10.2f %10.1f\n", n, m.stp, m.antt,
-                    m.powerGatedW);
-    }
+    serve::SweepRequest req;
+    req.design = args.get("design", "4B");
+    req.bench = args.get("bench", "");
+    req.het = args.has("het");
+    req.noSmt = args.has("no-smt");
+    req.hasBw = args.has("bw");
+    req.bw = args.getDouble("bw", 8.0);
+
+    StudyEngine eng(studyOptionsFromArgs(args));
+    std::fputs(serve::sweepText(eng, req).c_str(), stdout);
     return 0;
 }
 
@@ -355,6 +274,44 @@ cmdTrace(const Args &args)
 }
 
 int
+cmdServe(const Args &args)
+{
+    if (args.has("jobs"))
+        exec::ThreadPool::configureGlobal(
+            static_cast<unsigned>(args.getInt("jobs", 0)));
+
+    serve::ServerOptions opts;
+    opts.host = args.get("host", opts.host);
+    opts.port = static_cast<std::uint16_t>(args.getInt("port", 7333));
+    opts.queueCapacity = args.getInt("queue", 0);
+    opts.batchMax = args.getInt("batch", 0);
+    opts.maxFrame = args.getInt("max-frame", serve::kDefaultMaxFrame);
+    opts.study = StudyOptions::fromEnv();
+    if (args.has("cache"))
+        opts.study.cachePath = args.get("cache");
+
+    serve::Server server(opts);
+    server.bind();
+    serve::Server::installSignalHandlers(&server);
+    std::printf("smtflex serve: listening on %s:%u (jobs %u, cache %s)\n",
+                opts.host.c_str(), server.port(),
+                exec::ThreadPool::global().concurrency(),
+                opts.study.cachePath.empty() ? "(in-memory)"
+                                             : opts.study.cachePath.c_str());
+    std::fflush(stdout);
+    server.run();
+    const auto &stats = server.stats();
+    std::printf("smtflex serve: drained; %llu requests, %llu executed, "
+                "%llu cache hits, %llu coalesced\n",
+                static_cast<unsigned long long>(
+                    stats.requestsReceived.load()),
+                static_cast<unsigned long long>(stats.executed.load()),
+                static_cast<unsigned long long>(stats.cacheHits.load()),
+                static_cast<unsigned long long>(stats.coalesced.load()));
+    return 0;
+}
+
+int
 usage()
 {
     std::fprintf(
@@ -362,13 +319,17 @@ usage()
         "usage: smtflex <command> [options]\n"
         "  designs                       list the multi-core designs\n"
         "  benchmarks                    list the workload models\n"
-        "  isolated [bench...]           isolated IPC per core type\n"
+        "  isolated [bench...] [--cache FILE]\n"
+        "                                isolated IPC per core type\n"
         "  run    --design D --workload a,b,c [--no-smt] [--budget N]\n"
         "         [--warmup N] [--seed N] [--bw G] [--prefetch]\n"
         "         [--naive-sched] [--report text|csv-threads|csv-cores]\n"
+        "         [--cache FILE]\n"
         "  sweep  --design D [--bench b | --het] [--no-smt] [--bw G]\n"
         "  parsec --app A --design D --threads N [--throttle] [--no-smt]\n"
-        "  trace  --bench b --out file [--count N] [--seed N]\n");
+        "  trace  --bench b --out file [--count N] [--seed N]\n"
+        "  serve  [--port N] [--host A] [--jobs N] [--queue N]\n"
+        "         [--batch N] [--max-frame N] [--cache FILE]\n");
     return 2;
 }
 
@@ -396,6 +357,8 @@ main(int argc, char **argv)
             return cmdParsec(args);
         if (cmd == "trace")
             return cmdTrace(args);
+        if (cmd == "serve")
+            return cmdServe(args);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "smtflex: %s\n", e.what());
         return 1;
