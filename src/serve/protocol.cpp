@@ -1,5 +1,6 @@
 #include "protocol.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "common/env.h"
@@ -85,8 +86,17 @@ fieldU64(const Json &doc, const std::string &key, std::uint64_t fallback)
     if (!doc.has(key))
         return fallback;
     const Json &node = doc.at(key);
-    if (node.isString())
-        return parseU64(node.asString(), "request field '" + key + "'");
+    if (node.isString()) {
+        const std::uint64_t value =
+            parseU64(node.asString(), "request field '" + key + "'");
+        // Mirror asU64's 2^53 cap: replies render numbers through a
+        // double, so anything larger could not be echoed back exactly.
+        if (value > (std::uint64_t{1} << 53))
+            fatal("request field '", key, "' is ", value,
+                  ", above 2^53 (the largest integer an exact JSON reply "
+                  "can carry)");
+        return value;
+    }
     return node.asU64();
 }
 
@@ -133,7 +143,16 @@ extractId(const Json &doc)
     if (!doc.isObject() || !doc.has("id"))
         return 0;
     const Json &id = doc.at("id");
-    return id.isNumber() ? id.asU64() : 0;
+    if (!id.isNumber())
+        return 0;
+    // Replicates asU64's checks inline instead of calling it: this runs
+    // inside the bad_request error path, where a fatal() on a negative,
+    // fractional or oversized id would tear down the whole server.
+    const double value = id.asNumber();
+    if (value < 0.0 || value > 9007199254740992.0 /* 2^53 */ ||
+        value != std::floor(value))
+        return 0;
+    return static_cast<std::uint64_t>(value);
 }
 
 Request

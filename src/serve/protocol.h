@@ -23,11 +23,14 @@
  * clients may pipeline), "deadline_ms" (u64; the request is answered with
  * a `deadline` error if a worker cannot start it in time). Integer fields
  * accept JSON numbers or decimal strings; both are validated through
- * common/env.h's strict parsers.
+ * common/env.h's strict parsers, and both are capped at 2^53 (the largest
+ * integer an exact JSON reply can echo back).
  *
  * Responses: {"id":N,"ok":true,...} or {"id":N,"ok":false,"error":CODE,
  * "message":TEXT} with CODE in {bad_request, overloaded, deadline,
- * shutting_down, frame_too_large, failed}.
+ * shutting_down, frame_too_large, response_too_large, failed, internal}.
+ * A response body that would exceed the frame cap is replaced by a
+ * `response_too_large` error rather than poisoning the client's decoder.
  */
 
 #ifndef SMTFLEX_SERVE_PROTOCOL_H

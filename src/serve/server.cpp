@@ -225,6 +225,14 @@ Server::eventLoop()
                     // until the backlog drains.
                     ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
                     queue_->close();
+                    if (options_.drainTimeoutMs > 0)
+                        drainDeadline_ = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(
+                                options_.drainTimeoutMs);
+                } else {
+                    // A repeated stop signal means "stop waiting": give
+                    // up on clients that won't read their responses.
+                    forceCloseStalled();
                 }
             } else if (tag == kWakeTag) {
                 drainPipe(wakePipe_[0]);
@@ -246,8 +254,29 @@ Server::eventLoop()
             }
         }
         drainCompletions();
+        // Drain must not hang on a client that stopped reading its
+        // socket: past the deadline, stalled connections are cut loose
+        // (their results stay memoised) so run() can return.
+        if (draining_ && options_.drainTimeoutMs > 0 &&
+            std::chrono::steady_clock::now() >= drainDeadline_)
+            forceCloseStalled();
         if (drained())
             return;
+    }
+}
+
+void
+Server::forceCloseStalled()
+{
+    std::vector<std::uint64_t> stalled;
+    for (const auto &[id, conn] : connections_) {
+        if (conn->outOffset < conn->outBuffer.size())
+            stalled.push_back(id);
+    }
+    for (const std::uint64_t id : stalled) {
+        warn("serve: force-closing connection ", id,
+             " with unflushed output during drain");
+        closeConnection(id);
     }
 }
 
@@ -290,11 +319,19 @@ Server::acceptConnections()
 void
 Server::handleReadable(Connection &conn)
 {
+    // Read at most this much per epoll event. A client that streams
+    // continuously would otherwise keep read() returning data forever,
+    // growing the decode buffer without bound and starving every other
+    // connection (the loop runs on the single I/O thread). Leftover bytes
+    // are safe: level-triggered epoll reports the fd readable again.
+    constexpr std::size_t kReadBudget = 256 * 1024;
     char buf[16 * 1024];
-    while (true) {
+    std::size_t taken = 0;
+    while (taken < kReadBudget) {
         const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
         if (n > 0) {
             conn.decoder.feed(buf, static_cast<std::size_t>(n));
+            taken += static_cast<std::size_t>(n);
             continue;
         }
         if (n == 0) {
@@ -462,12 +499,24 @@ Server::sendBody(Connection &conn, const Json &body, std::uint64_t id)
 {
     Json copy = body;
     copy.set("id", Json::number(id));
-    sendRaw(conn, copy.dump());
+    sendRaw(conn, copy.dump(), id);
 }
 
 void
-Server::sendRaw(Connection &conn, const std::string &payload)
+Server::sendRaw(Connection &conn, std::string payload, std::uint64_t id)
 {
+    if (payload.size() > options_.maxFrame) {
+        // The frame cap applies to both directions (protocol.h): an
+        // oversized body would poison the client's decoder, so substitute
+        // a small error the client can actually parse and correlate.
+        Json body = makeError(
+            "response_too_large",
+            "response of " + std::to_string(payload.size()) +
+                " bytes exceeds the " + std::to_string(options_.maxFrame) +
+                "-byte frame limit");
+        body.set("id", Json::number(id));
+        payload = body.dump();
+    }
     conn.outBuffer += encodeFrame(payload);
     stats_.responsesSent.fetch_add(1);
     handleWritable(conn);
@@ -550,7 +599,7 @@ Server::drainCompletions()
                 continue; // client went away; result stays memoised
             Json copy = body;
             copy.set("id", Json::number(waiter.requestId));
-            sendRaw(*connIt->second, copy.dump());
+            sendRaw(*connIt->second, copy.dump(), waiter.requestId);
         }
         inFlight_.erase(it);
     }

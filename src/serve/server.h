@@ -29,6 +29,9 @@
  * the listener closes, new requests on live connections get
  * `shutting_down`, queued and running work drains to completion, every
  * response is flushed, the ResultCache is flushed, and run() returns.
+ * Connections that will not accept their responses (a client that stopped
+ * reading) are force-closed after drainTimeoutMs — or immediately on a
+ * second stop signal — so drain cannot hang on a stalled peer.
  */
 
 #ifndef SMTFLEX_SERVE_SERVER_H
@@ -70,6 +73,10 @@ struct ServerOptions
     std::size_t maxFrame = kDefaultMaxFrame;
     /** Memoised-response entries kept in memory. */
     std::size_t responseCacheCapacity = 4096;
+    /** During graceful drain, connections whose responses cannot be
+     * flushed within this window (a client that stopped reading) are
+     * force-closed so shutdown always completes. 0 = wait forever. */
+    std::uint64_t drainTimeoutMs = 5'000;
     /** Study options (budget/warmup/seed defaults, ResultCache path). */
     StudyOptions study = StudyOptions();
 };
@@ -169,8 +176,13 @@ class Server
     void processPayload(Connection &conn, const std::string &payload);
     void admit(Connection &conn, Request request);
     void sendBody(Connection &conn, const Json &body, std::uint64_t id);
-    void sendRaw(Connection &conn, const std::string &payload);
+    /** Frame @p payload and flush. Bodies above maxFrame are replaced by
+     * a `response_too_large` error carrying @p id (the per-request id,
+     * for correlation), keeping the client's decoder parseable. */
+    void sendRaw(Connection &conn, std::string payload,
+                 std::uint64_t id = 0);
     void closeConnection(std::uint64_t connection_id);
+    void forceCloseStalled();
     void drainCompletions();
     void updateEpoll(Connection &conn);
     bool drained() const;
@@ -193,6 +205,7 @@ class Server
     int wakePipe_[2] = {-1, -1};
     std::uint16_t boundPort_ = 0;
     bool draining_ = false;
+    std::chrono::steady_clock::time_point drainDeadline_;
 
     /** Connection ids double as epoll user data; 0..2 tag the listener
      * and the stop/wake pipes, so connections start at 3. */

@@ -231,6 +231,35 @@ TEST(ParseRequestTest, ExtractIdIsBestEffort)
     EXPECT_EQ(extractId(Json::parse("[]")), 0u);
 }
 
+TEST(ParseRequestTest, ExtractIdNeverThrows)
+{
+    // extractId runs inside the bad_request error path; an id that would
+    // make asU64() fatal() must degrade to 0, not take the server down.
+    EXPECT_NO_THROW({
+        EXPECT_EQ(extractId(Json::parse("{\"id\":-1,\"op\":\"run\"}")), 0u);
+        EXPECT_EQ(extractId(Json::parse("{\"id\":1.5}")), 0u);
+        EXPECT_EQ(extractId(Json::parse("{\"id\":1e300}")), 0u);
+        EXPECT_EQ(extractId(Json::parse("{\"id\":null}")), 0u);
+        EXPECT_EQ(extractId(Json::parse("{\"id\":[3]}")), 0u);
+    });
+}
+
+TEST(ParseRequestTest, StringIntegersShareTheU64ReplyCap)
+{
+    // 2^53 is accepted from both spellings; anything above cannot be
+    // echoed exactly through a JSON number, so it is rejected at parse
+    // time rather than silently rounded in the reply.
+    const Request max = parseRequest(
+        Json::parse("{\"op\":\"ping\",\"id\":\"9007199254740992\"}"));
+    EXPECT_EQ(max.id, 9007199254740992u);
+    EXPECT_THROW(parseRequest(Json::parse(
+                     "{\"op\":\"ping\",\"id\":\"9007199254740993\"}")),
+                 FatalError);
+    EXPECT_THROW(parseRequest(Json::parse(
+                     "{\"op\":\"ping\",\"id\":\"18446744073709551615\"}")),
+                 FatalError);
+}
+
 TEST(ProtocolTest, ResponseEnvelopes)
 {
     const Json ok = makeResponse(Op::kRun);

@@ -198,6 +198,58 @@ TEST(ServerTest, UnknownOpAndBadFieldsAreBadRequests)
     EXPECT_TRUE(client.call(pingDoc(9)).at("ok").asBool());
 }
 
+TEST(ServerTest, UnrepresentableIdSurvivesAsBadRequest)
+{
+    ServerOptions options;
+    options.study = fastStudy();
+    TestServer ts(options);
+
+    Client client;
+    client.connect("127.0.0.1", ts.port());
+
+    // Invalid op AND an id asU64() would fatal() on: the reply must be a
+    // bad_request correlated to id 0, and the server must stay up.
+    Json doc = Json::object();
+    doc.set("op", Json::string("fly"));
+    doc.set("id", Json::number(-1.0));
+    const Json reply = client.call(doc);
+    EXPECT_FALSE(reply.at("ok").asBool());
+    EXPECT_EQ(reply.at("error").asString(), "bad_request");
+    EXPECT_EQ(reply.at("id").asU64(), 0u);
+
+    Json fractional = Json::object();
+    fractional.set("op", Json::string("fly"));
+    fractional.set("id", Json::number(1.5));
+    EXPECT_EQ(client.call(fractional).at("error").asString(),
+              "bad_request");
+
+    // Server and connection both survived the poison ids.
+    EXPECT_TRUE(client.call(pingDoc(9)).at("ok").asBool());
+    EXPECT_EQ(ts.server().stats().badRequests.load(), 2u);
+}
+
+TEST(ServerTest, OversizedResponseIsReplacedNotSent)
+{
+    ServerOptions options;
+    options.study = fastStudy();
+    options.maxFrame = 256; // the stats body will not fit
+    TestServer ts(options);
+
+    Client client;
+    client.connect("127.0.0.1", ts.port());
+
+    Json statsReq = Json::object();
+    statsReq.set("op", Json::string("stats"));
+    statsReq.set("id", Json::number(std::uint64_t{11}));
+    const Json reply = client.call(statsReq);
+    EXPECT_FALSE(reply.at("ok").asBool());
+    EXPECT_EQ(reply.at("error").asString(), "response_too_large");
+    EXPECT_EQ(reply.at("id").asU64(), 11u); // still correlated
+
+    // Small responses still flow on the same connection.
+    EXPECT_TRUE(client.call(pingDoc(12)).at("ok").asBool());
+}
+
 TEST(ServerTest, RepeatedRunIsServedFromTheResponseCache)
 {
     ServerOptions options;

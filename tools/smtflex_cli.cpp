@@ -286,6 +286,7 @@ cmdServe(const Args &args)
     opts.queueCapacity = args.getInt("queue", 0);
     opts.batchMax = args.getInt("batch", 0);
     opts.maxFrame = args.getInt("max-frame", serve::kDefaultMaxFrame);
+    opts.drainTimeoutMs = args.getInt("drain-timeout", opts.drainTimeoutMs);
     opts.study = StudyOptions::fromEnv();
     if (args.has("cache"))
         opts.study.cachePath = args.get("cache");
@@ -329,7 +330,8 @@ usage()
         "  parsec --app A --design D --threads N [--throttle] [--no-smt]\n"
         "  trace  --bench b --out file [--count N] [--seed N]\n"
         "  serve  [--port N] [--host A] [--jobs N] [--queue N]\n"
-        "         [--batch N] [--max-frame N] [--cache FILE]\n");
+        "         [--batch N] [--max-frame N] [--drain-timeout MS]\n"
+        "         [--cache FILE]\n");
     return 2;
 }
 
