@@ -100,6 +100,55 @@ BM_ChipSim20sCycles(benchmark::State &state)
 }
 BENCHMARK(BM_ChipSim20sCycles);
 
+/**
+ * Simulated cycles per wall second on the memory-bound design the
+ * event-driven fast-forward targets: mcf on the 20-small-core in-order
+ * chip spends most of its time with every context stalled on a DRAM
+ * fill, so nearly every cycle is skippable. The strict variant pins the
+ * fast-forward off to measure the baseline on the same run() path; their
+ * items/sec ratio is the fast-forward speedup tracked in BENCH_sim.json.
+ */
+void
+runChipSimMcf20s(benchmark::State &state, bool fast_forward)
+{
+    const ChipConfig cfg = paperDesign("20s");
+    ChipSim chip(cfg);
+    std::vector<SimThread> threads;
+    threads.reserve(20);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        threads.emplace_back(specProfile("mcf"), 1, i,
+                             InstrCount{1} << 40, true);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        chip.attach(i, 0, &threads[i]);
+    chip.setFastForward(fast_forward);
+    constexpr Cycle kChunk = 4096;
+    for (auto _ : state)
+        chip.run(kChunk);
+    state.SetItemsProcessed(state.iterations() * kChunk);
+    state.counters["ff_cycles"] = benchmark::Counter(
+        static_cast<double>(chip.fastForwardedCycles()));
+    state.counters["ff_spans"] = benchmark::Counter(
+        static_cast<double>(chip.fastForwardSpans()));
+}
+
+void
+BM_ChipSimFastForwardMcf20s(benchmark::State &state)
+{
+    runChipSimMcf20s(state, true);
+}
+// Pinned iteration counts make both variants simulate the exact same
+// global-cycle window — from cycle 0, like every study-engine run — so
+// their items/sec ratio (the fast-forward speedup) is deterministic and
+// free of program-phase sampling bias.
+BENCHMARK(BM_ChipSimFastForwardMcf20s)->Iterations(256);
+
+void
+BM_ChipSimStrictMcf20s(benchmark::State &state)
+{
+    runChipSimMcf20s(state, false);
+}
+BENCHMARK(BM_ChipSimStrictMcf20s)->Iterations(256);
+
 } // namespace
 
 BENCHMARK_MAIN();

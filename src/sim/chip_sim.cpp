@@ -1,7 +1,11 @@
 #include "chip_sim.h"
 
 #include <algorithm>
+#include <bit>
+#include <map>
+#include <utility>
 
+#include "common/env.h"
 #include "common/log.h"
 
 namespace smtflex {
@@ -27,11 +31,19 @@ ChipSim::ChipSim(const ChipConfig &config)
                                   config_.chipFreqGHz));
     }
     poweredCycles_.assign(config_.numCores(), 0);
+    wake_.assign(config_.numCores(), 0);
+    sleepStart_.assign(config_.numCores(), 0);
+    awakeMask_.assign((config_.numCores() + 63) / 64, 0);
+    for (std::uint32_t i = 0; i < config_.numCores(); ++i)
+        awakeMask_[i / 64] |= std::uint64_t{1} << (i % 64);
+    fastForward_ = !envFlag("SMTFLEX_NO_FASTFWD", false);
 }
 
 void
 ChipSim::attach(std::uint32_t core, std::uint32_t slot, ThreadSource *t)
 {
+    if (core < wake_.size())
+        flushCore(core); // settle deferred sleep before mutating the core
     cores_.at(core)->attachThread(slot, t);
     ++attachedThreads_;
 }
@@ -39,6 +51,8 @@ ChipSim::attach(std::uint32_t core, std::uint32_t slot, ThreadSource *t)
 ThreadSource *
 ChipSim::detach(std::uint32_t core, std::uint32_t slot)
 {
+    if (core < wake_.size())
+        flushCore(core);
     ThreadSource *old = cores_.at(core)->detachThread(slot);
     if (old)
         --attachedThreads_;
@@ -57,6 +71,148 @@ ChipSim::tick()
             core.tick(now_);
     }
     activeHistogram_.add(attachedThreads_, 1.0);
+}
+
+Cycle
+ChipSim::nextEventCycle()
+{
+    Cycle event = kCycleNever;
+    for (const auto &core : cores_) {
+        // Mirror tick()'s ticking condition: unpowered quiescent cores do
+        // not advance, so they contribute no events (attach only happens
+        // at strictly simulated cycles).
+        if (core->activeContexts() == 0 && core->quiescent())
+            continue;
+        event = std::min(event, core->nextEventCycle(now_));
+        if (event <= now_ + 1)
+            return now_ + 1; // some core may act next cycle: no skip
+    }
+    return event;
+}
+
+void
+ChipSim::flushCore(std::uint32_t i)
+{
+    if (wake_[i] == 0)
+        return;
+    // Parked dormant cores would not have ticked in the strict loop
+    // either: nothing to replay.
+    if (wake_[i] != kCycleNever) {
+        // The core slept through (sleepStart_, min(now_, wake_ - 1)];
+        // those cycles are provably inert, so bulk-replay their
+        // accounting exactly (cycle counts, rotors, stall counters,
+        // powered cycles).
+        const Cycle upto = std::min(now_, wake_[i] - 1);
+        if (upto > sleepStart_[i]) {
+            const Cycle count = upto - sleepStart_[i];
+            Core &core = *cores_[i];
+            if (core.activeContexts() > 0)
+                poweredCycles_[i] += count;
+            core.skipTicks(count);
+            ffCycles_ += count;
+            ++ffSpans_;
+        }
+    }
+    wake_[i] = 0;
+    awakeMask_[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+void
+ChipSim::wakeAllCores()
+{
+    for (std::uint32_t i = 0; i < wake_.size(); ++i)
+        flushCore(i);
+}
+
+void
+ChipSim::stepCores()
+{
+    ++now_;
+    // Wake the sleepers whose next strict tick arrived.
+    while (!wakeHeap_.empty() && wakeHeap_.top().first <= now_) {
+        const auto [w, i] = wakeHeap_.top();
+        wakeHeap_.pop();
+        if (wake_[i] == w)
+            flushCore(i);
+    }
+    // Tick the awake cores, in index order (same-cycle memory accesses
+    // must hit the shared system in the strict loop's order).
+    for (std::size_t word = 0; word < awakeMask_.size(); ++word) {
+        std::uint64_t bits = awakeMask_[word];
+        while (bits != 0) {
+            const std::uint32_t i = static_cast<std::uint32_t>(
+                word * 64 + std::countr_zero(bits));
+            bits &= bits - 1;
+            Core &core = *cores_[i];
+            const bool powered = core.activeContexts() > 0;
+            poweredCycles_[i] += powered;
+            if (!powered && core.quiescent()) {
+                // Dormant: the strict loop skips it every cycle; park it
+                // until an attach flushes it back awake.
+                wake_[i] = kCycleNever;
+                awakeMask_[word] &= ~(std::uint64_t{1} << (i % 64));
+                continue;
+            }
+            core.tick(now_);
+            const Cycle event = core.nextEventCycle(now_);
+            if (event > now_ + 1) {
+                wake_[i] = event;
+                sleepStart_[i] = now_;
+                wakeHeap_.push({event, i});
+                awakeMask_[word] &= ~(std::uint64_t{1} << (i % 64));
+            }
+        }
+    }
+    activeHistogram_.add(attachedThreads_, 1.0);
+}
+
+void
+ChipSim::jumpIdleSpan(Cycle bound)
+{
+    // Jump only when every core is asleep or parked — checked against
+    // the *current* state, after any rotation/attach woke cores.
+    for (const std::uint64_t word : awakeMask_)
+        if (word != 0)
+            return; // some core is awake: it could act next cycle
+    Cycle min_wake = kCycleNever;
+    while (!wakeHeap_.empty()) {
+        const auto [w, i] = wakeHeap_.top();
+        if (wake_[i] != w) {
+            wakeHeap_.pop(); // stale: the core was flushed externally
+            continue;
+        }
+        min_wake = w;
+        break;
+    }
+    const Cycle target = min_wake == kCycleNever
+        ? bound
+        : std::min(bound, min_wake - 1);
+    if (target > now_) {
+        // Nothing can happen until the earliest wake (sleeping cores'
+        // accounting is deferred, parked cores would not have ticked
+        // anyway). Integral double sums are exact, so the bulk histogram
+        // add is bit-identical to per-cycle unit adds.
+        activeHistogram_.add(attachedThreads_,
+                             static_cast<double>(target - now_));
+        now_ = target;
+    }
+}
+
+void
+ChipSim::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    if (!fastForward_) {
+        while (now_ < end)
+            tick();
+        return;
+    }
+    while (now_ < end) {
+        stepCores();
+        if (now_ < end)
+            jumpIdleSpan(end);
+    }
+    wakeAllCores();
 }
 
 void
@@ -144,6 +300,8 @@ ChipSim::runMultiProgram(const std::vector<ThreadSpec> &specs,
     }
 
     // Group threads by context slot; oversubscribed slots time-share.
+    // Shares keep first-appearance order (it fixes the attach order); the
+    // map only replaces the former linear rescan per thread.
     struct SlotShare
     {
         std::uint32_t core, slot;
@@ -151,17 +309,15 @@ ChipSim::runMultiProgram(const std::vector<ThreadSpec> &specs,
         std::uint32_t resident = 0;         // index into threads
     };
     std::vector<SlotShare> shares;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> slot_index;
     for (std::uint32_t i = 0; i < specs.size(); ++i) {
         const auto &entry = placement.entries[i];
-        auto it = std::find_if(shares.begin(), shares.end(),
-                               [&](const SlotShare &s) {
-                                   return s.core == entry.core &&
-                                          s.slot == entry.slot;
-                               });
-        if (it == shares.end()) {
+        const auto [it, inserted] = slot_index.try_emplace(
+            {entry.core, entry.slot}, shares.size());
+        if (inserted) {
             shares.push_back({entry.core, entry.slot, {i}, 0});
         } else {
-            it->threads.push_back(i);
+            shares[it->second].threads.push_back(i);
         }
     }
 
@@ -182,33 +338,71 @@ ChipSim::runMultiProgram(const std::vector<ThreadSpec> &specs,
     warmAllCaches(warm);
 
     // Main loop: run until every thread finished its budget once.
-    std::size_t finished = 0;
-    std::vector<bool> seen_finished(threads.size(), false);
-    while (finished < threads.size() && now_ < limits.maxCycles) {
-        tick();
-
-        if (time_sharing && now_ % limits.quantum == 0) {
-            for (auto &share : shares) {
-                if (share.threads.size() < 2)
-                    continue;
-                detach(share.core, share.slot);
-                share.resident = (share.resident + 1) %
-                    static_cast<std::uint32_t>(share.threads.size());
-                attach(share.core, share.slot,
-                       threads[share.threads[share.resident]].get());
-            }
+    //
+    // Completion detection is O(1): every thread bumps `finished_eager`
+    // at the exact retire that completes its budget, and the loop samples
+    // that counter at the cadence the former per-cycle thread scan used
+    // (every cycle without time sharing, every 256 cycles with), so exit
+    // cycles — and with them all results — are unchanged.
+    std::uint32_t finished_eager = 0;
+    for (auto &thread : threads)
+        thread->notifyFinishTo(&finished_eager);
+    std::uint32_t finished = 0;
+    const auto sync_finished = [&] {
+        if (now_ % 256 == 0 || !time_sharing)
+            finished = finished_eager;
+    };
+    // The fast-forward path checks for rotation both after the step and
+    // after the jump (either can land on a quantum boundary), so the
+    // rotation itself must be idempotent per cycle.
+    Cycle last_rotation = 0;
+    const auto rotate_shares = [&] {
+        if (!time_sharing || now_ % limits.quantum != 0 ||
+            now_ == last_rotation)
+            return;
+        last_rotation = now_;
+        for (auto &share : shares) {
+            if (share.threads.size() < 2)
+                continue;
+            detach(share.core, share.slot);
+            share.resident = (share.resident + 1) %
+                static_cast<std::uint32_t>(share.threads.size());
+            attach(share.core, share.slot,
+                   threads[share.threads[share.resident]].get());
         }
+    };
+    while (finished < threads.size() && now_ < limits.maxCycles) {
+        if (fastForward_)
+            stepCores(); // idle cores sleep instead of ticking
+        else
+            tick();
+        rotate_shares();
+        sync_finished();
 
-        // Cheap periodic completion check.
-        if (now_ % 256 == 0 || !time_sharing) {
-            for (std::uint32_t i = 0; i < threads.size(); ++i) {
-                if (!seen_finished[i] && threads[i]->finished()) {
-                    seen_finished[i] = true;
-                    ++finished;
-                }
+        // When every core sleeps, jump straight to the earliest wake.
+        // The jump happens only after this cycle's rotation and
+        // completion sampling, and clamps to time-sharing quantum
+        // boundaries (thread rotation must run at exactly the strict
+        // cycles) and — while a finish has happened but has not been
+        // observed yet — to the 256-cycle completion-sampling
+        // boundaries, so the loop exits at exactly the strict run's
+        // cycle. No retire can happen inside a sleep span, so the
+        // completion counter cannot advance across a jump.
+        if (fastForward_ && finished < threads.size() &&
+            now_ < limits.maxCycles) {
+            Cycle bound = limits.maxCycles;
+            if (time_sharing) {
+                bound = std::min(
+                    bound, (now_ / limits.quantum + 1) * limits.quantum);
+                if (finished_eager != finished)
+                    bound = std::min(bound, (now_ / 256 + 1) * 256);
             }
+            jumpIdleSpan(bound);
+            rotate_shares();
+            sync_finished();
         }
     }
+    wakeAllCores();
     hitCycleLimit_ = now_ >= limits.maxCycles;
     if (hitCycleLimit_)
         warn("ChipSim ", config_.name, ": hit cycle limit at ", now_);

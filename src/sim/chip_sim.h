@@ -10,8 +10,11 @@
 #define SMTFLEX_SIM_CHIP_SIM_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -138,6 +141,35 @@ class ChipSim
      * accumulates power/active-thread accounting). */
     void tick();
 
+    /**
+     * Advance @p cycles global cycles event-driven: each core that is
+     * provably idle until a known future cycle (all SMT contexts stalled
+     * on pending fills, branch redirects or blocked ROB heads) sleeps —
+     * it is not ticked, and its per-cycle accounting is bulk-replayed
+     * when it wakes — and when every core sleeps, global time jumps to
+     * the earliest wake. Results are bit-identical to calling tick()
+     * @p cycles times; see DESIGN.md ("Event-driven fast-forward").
+     */
+    void run(Cycle cycles);
+
+    /** Enable/disable fast-forward (default: on, unless the
+     * SMTFLEX_NO_FASTFWD environment flag is set). */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForwardEnabled() const { return fastForward_; }
+
+    /** Per-core global cycles elided by fast-forward so far, summed over
+     * cores (diagnostics). */
+    Cycle fastForwardedCycles() const { return ffCycles_; }
+    /** Number of fast-forwarded sleep spans so far (diagnostics). */
+    std::uint64_t fastForwardSpans() const { return ffSpans_; }
+
+    /**
+     * Conservative earliest global cycle at which any ticking core could
+     * dispatch, retire, or change state (min of Core::nextEventCycle over
+     * powered or draining cores; kCycleNever when all are inert).
+     */
+    Cycle nextEventCycle();
+
     /** One thread's working set to warm (see warmAllCaches). */
     struct WarmSpec
     {
@@ -177,6 +209,31 @@ class ChipSim
     void validatePlacement(const Placement &placement,
                            std::size_t num_threads) const;
 
+    /**
+     * Advance one global cycle the event-driven way: tick the awake
+     * cores and put newly idle ones to sleep until their next event.
+     * Only called from the run loops; tick() stays strictly
+     * cycle-by-cycle.
+     */
+    void stepCores();
+
+    /**
+     * If every core is asleep (or dormant), jump now_ to just before the
+     * earliest wake, clamped to @p bound (now_ never exceeds @p bound).
+     * No-op while any core is awake.
+     */
+    void jumpIdleSpan(Cycle bound);
+
+    /** Apply core @p i's deferred sleep span (bulk accounting of the
+     * provably inert cycles since it last ticked) and wake it. Must run
+     * before anything external mutates the core (attach/detach) and
+     * before results are read. */
+    void flushCore(std::uint32_t i);
+
+    /** flushCore over all cores — run loops call this on exit so the
+     * chip is always in a strict-equivalent state between calls. */
+    void wakeAllCores();
+
     ChipConfig config_;
     SharedMemory shared_;
     std::vector<std::unique_ptr<Core>> cores_;
@@ -187,6 +244,27 @@ class ChipSim
     /** Time-weighted histogram of attached thread counts. */
     Histogram activeHistogram_;
     bool hitCycleLimit_ = false;
+    /** Event-driven fast-forward (SMTFLEX_NO_FASTFWD turns it off). */
+    bool fastForward_ = true;
+    /** Per core: global cycle of the next strict tick while sleeping
+     * (0 = awake, kCycleNever = parked dormant: skipped entirely, like
+     * the strict loop skips unpowered quiescent cores), and the global
+     * cycle of the last strict tick. */
+    std::vector<Cycle> wake_;
+    std::vector<Cycle> sleepStart_;
+    /** Bitmask of awake cores, iterated in index order so same-cycle
+     * memory accesses keep the strict loop's core order. Sleeping and
+     * parked cores cost nothing per cycle. */
+    std::vector<std::uint64_t> awakeMask_;
+    /** (wake cycle, core) min-heap; entries whose wake no longer matches
+     * wake_[core] are stale (the core was flushed externally) and are
+     * discarded when they surface. Parked cores have no entry. */
+    std::priority_queue<std::pair<Cycle, std::uint32_t>,
+                        std::vector<std::pair<Cycle, std::uint32_t>>,
+                        std::greater<>>
+        wakeHeap_;
+    Cycle ffCycles_ = 0;
+    std::uint64_t ffSpans_ = 0;
 };
 
 } // namespace smtflex

@@ -20,6 +20,8 @@ SimThread::onRetire(Cycle now)
     }
     if (totalRetired_ == warmup_ + budget_) {
         finishCycle_ = now;
+        if (finishCounter_)
+            ++*finishCounter_;
         // Paper methodology: finished programs restart and keep contending
         // (the statistical stream simply continues; caches stay warm, as
         // they would for a real re-execution). Without restart the thread

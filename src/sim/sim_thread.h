@@ -45,6 +45,14 @@ class SimThread : public ThreadSource
     bool hasWork() override { return !doneForever_; }
     void onRetire(Cycle now) override;
 
+    /**
+     * Have this thread bump @p counter (once) at the exact retire that
+     * completes its measured budget. Lets the simulation loop detect
+     * completion in O(1) instead of scanning every thread each cycle, at
+     * the same cycle granularity as the scan it replaces.
+     */
+    void notifyFinishTo(std::uint32_t *counter) { finishCounter_ = counter; }
+
     /** True once the measured budget has been retired. */
     bool finished() const { return finishCycle_ != kCycleNever; }
     /** Global cycle at which the measured window started (warmup done). */
@@ -66,6 +74,7 @@ class SimThread : public ThreadSource
     Cycle startCycle_ = 0;
     Cycle finishCycle_ = kCycleNever;
     bool doneForever_ = false;
+    std::uint32_t *finishCounter_ = nullptr;
 };
 
 } // namespace smtflex

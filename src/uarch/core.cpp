@@ -102,6 +102,70 @@ Core::tick(Cycle global_now)
     }
 }
 
+void
+Core::skipTicks(Cycle count)
+{
+    if (count == 0)
+        return;
+    Cycle core_cycles;
+    if (clockRatio_ == 1.0) {
+        // The accumulator is a fixed point at ratio 1: each tick adds and
+        // removes exactly 1.0, so bulk arithmetic is bit-identical.
+        core_cycles = count;
+    } else {
+        // Replay the exact per-tick accumulator sequence: analytic
+        // multiplication would round differently and desynchronise the
+        // core clock from a strict run.
+        core_cycles = 0;
+        for (Cycle g = 0; g < count; ++g) {
+            clockAccum_ += clockRatio_;
+            while (clockAccum_ >= 1.0) {
+                clockAccum_ -= 1.0;
+                ++core_cycles;
+            }
+        }
+    }
+    globalNow_ += count;
+    coreNow_ += core_cycles;
+    stats_.coreCycles += core_cycles;
+    // retireCycle() bumps the rotor once per core cycle even when nothing
+    // retires; uint32 truncation matches its modular wraparound.
+    retireRotor_ += static_cast<std::uint32_t>(core_cycles);
+    onSkippedCoreCycles(core_cycles);
+}
+
+Cycle
+Core::earliestHeadCompletion() const
+{
+    Cycle earliest = kCycleNever;
+    for (const auto &ctx : contexts_) {
+        if (ctx.robCount > 0)
+            earliest = std::min(earliest, ctx.rob[ctx.robHead].completion);
+    }
+    return earliest;
+}
+
+Cycle
+Core::globalCycleForCoreEvent(Cycle global_now, Cycle core_event) const
+{
+    if (core_event == kCycleNever)
+        return kCycleNever;
+    if (core_event <= coreNow_)
+        return global_now + 1;
+    const Cycle dc = core_event - coreNow_;
+    if (clockRatio_ == 1.0)
+        return global_now + dc;
+    // Under-estimate (skip less, never more): truncate, then keep one
+    // whole-cycle margin against accumulated floating-point drift. A too
+    // early estimate only costs an extra strict (but inert) tick before
+    // the next estimate converges.
+    const double dg =
+        (static_cast<double>(dc) - clockAccum_) / clockRatio_;
+    if (dg <= 2.0)
+        return global_now + 1;
+    return global_now + static_cast<Cycle>(dg) - 1;
+}
+
 std::uint32_t
 Core::retireCycle(std::uint32_t budget)
 {

@@ -99,6 +99,35 @@ class Core
     /** Advance the core by one global cycle. */
     void tick(Cycle global_now);
 
+    /**
+     * Conservative earliest global cycle at which this core could dispatch,
+     * retire an op, or otherwise change architectural or statistics state.
+     * Every global cycle strictly before the returned one is provably
+     * inert: ticking through it would only advance cycle counters, the
+     * round-robin rotors, and per-cycle stall-event counters — exactly the
+     * effects skipTicks() replays in bulk. Returns global_now + 1 when the
+     * core may act on the very next cycle (no skip possible) and
+     * kCycleNever when the core is idle with nothing in flight.
+     *
+     * Must be called with @p global_now equal to the core's last ticked
+     * cycle, and immediately before any skipTicks() call: the
+     * classification of stalled contexts it caches is what
+     * onSkippedCoreCycles() replays.
+     */
+    virtual Cycle nextEventCycle(Cycle global_now)
+    {
+        return global_now + 1; // models without a fast-forward analysis
+    }
+
+    /**
+     * Bulk-advance @p count global cycles, all of which must lie strictly
+     * before the cycle returned by an immediately preceding
+     * nextEventCycle() call. Replays exactly what @p count tick() calls
+     * would have done on a provably inert core, including the exact
+     * floating-point clock-accumulator sequence for non-unit clock ratios.
+     */
+    void skipTicks(Cycle count);
+
     const CoreStats &stats() const { return stats_; }
     PrivateHierarchy &hierarchy() { return hierarchy_; }
     const PrivateHierarchy &hierarchy() const { return hierarchy_; }
@@ -145,6 +174,30 @@ class Core
 
     /** Advance the model by one core cycle (coreNow_ already updated). */
     virtual void coreCycle() = 0;
+
+    /**
+     * Replay the model-specific per-cycle effects of @p core_cycles inert
+     * core cycles (fetch rotor, stall-event accrual). Called by
+     * skipTicks() after the shared counters have been advanced; the
+     * context classification cached by the last nextEventCycle() call is
+     * still valid because no context changes state inside a skipped span.
+     */
+    virtual void onSkippedCoreCycles(Cycle core_cycles)
+    {
+        (void)core_cycles;
+    }
+
+    /** Earliest core cycle any context could retire its ROB head
+     * (kCycleNever when nothing is in flight). */
+    Cycle earliestHeadCompletion() const;
+
+    /**
+     * First global cycle whose tick() would reach core cycle
+     * @p core_event, estimated conservatively (never late, possibly a
+     * cycle or two early) for non-unit clock ratios. Returns
+     * global_now + 1 for overdue events and kCycleNever for kCycleNever.
+     */
+    Cycle globalCycleForCoreEvent(Cycle global_now, Cycle core_event) const;
 
     /** Retire up to @p budget completed ops across contexts (in order per
      * context, round-robin across contexts). Returns ops retired. */

@@ -11,6 +11,36 @@ InOrderCore::InOrderCore(const CoreParams &params, std::uint32_t core_id,
 {
 }
 
+Cycle
+InOrderCore::nextEventCycle(Cycle global_now)
+{
+    Cycle event = earliestHeadCompletion(); // core cycles
+    for (auto &ctx : contexts_) {
+        if (!ctx.thread && !ctx.hasStaged)
+            continue; // retirement only, covered by the head completion
+        if (ctx.stallUntil > coreNow_) {
+            // Sleeping on a RAW hazard, an off-core miss, an I-miss or a
+            // flush: the barrel scheduler passes this context over without
+            // touching anything until the stall expires.
+            event = std::min(event, ctx.stallUntil);
+            continue;
+        }
+        if (ctx.robCount >= ctx.rob.size())
+            continue; // pipeline buffer full: drains at head completion
+        if (ctx.hasStaged || (ctx.thread && ctx.thread->hasWork()))
+            return global_now + 1; // may win the issue slot next cycle
+        // Attached but out of work: only retirement remains.
+    }
+    return globalCycleForCoreEvent(global_now, event);
+}
+
+void
+InOrderCore::onSkippedCoreCycles(Cycle core_cycles)
+{
+    // Barrel rotation advances every core cycle, issued or not.
+    fetchRotor_ += static_cast<std::uint32_t>(core_cycles);
+}
+
 std::uint32_t
 InOrderCore::issueFrom(Context &ctx)
 {

@@ -28,8 +28,11 @@ class InOrderCore : public Core
                 std::uint32_t num_contexts, MemorySystem *shared,
                 double chip_freq_ghz);
 
+    Cycle nextEventCycle(Cycle global_now) override;
+
   protected:
     void coreCycle() override;
+    void onSkippedCoreCycles(Cycle core_cycles) override;
 
   private:
     /** Issue up to `width` ops from @p ctx this cycle.

@@ -57,6 +57,111 @@ MorphCore::consumeFu(OpClass cls)
             fuLeft_[static_cast<int>(OpClass::kStore)];
 }
 
+Cycle
+MorphCore::nextEventCycle(Cycle global_now)
+{
+    skipRobStallContexts_ = 0;
+    skipMshrStallContexts_ = 0;
+    const bool want_ooo = activeContexts() <= morph_.oooThreadLimit;
+    if (want_ooo != oooMode_) {
+        // Draining before a mode switch: only retirement happens, and the
+        // switch itself fires on the first cycle with nothing in flight.
+        const Cycle head = earliestHeadCompletion();
+        if (head == kCycleNever)
+            return global_now + 1; // switches next cycle
+        return globalCycleForCoreEvent(global_now, head);
+    }
+    if (stallUntilSwitch_ > coreNow_) {
+        // Refilling after a switch: retirement only until the penalty
+        // expires.
+        const Cycle event =
+            std::min(earliestHeadCompletion(), stallUntilSwitch_);
+        return globalCycleForCoreEvent(global_now, event);
+    }
+    return oooMode_ ? nextEventOoo(global_now) : nextEventInOrder(global_now);
+}
+
+Cycle
+MorphCore::nextEventOoo(Cycle global_now)
+{
+    // Mirrors OooCore::nextEventCycle for the out-of-order personality
+    // (always round-robin, same stall accrual as oooCycle()).
+    const std::uint32_t partition = robPartitionSize();
+    Cycle event = earliestHeadCompletion();
+    std::uint64_t rob_stalled = 0;
+    std::uint64_t mshr_stalled = 0;
+    for (auto &ctx : contexts_) {
+        if (!ctx.thread && !ctx.hasStaged)
+            continue;
+        if (ctx.frontStallUntil > coreNow_) {
+            event = std::min(event, ctx.frontStallUntil);
+            continue;
+        }
+        if (ctx.robCount >= partition) {
+            ++rob_stalled;
+            continue;
+        }
+        if (!ctx.hasStaged) {
+            if (ctx.thread && ctx.thread->hasWork())
+                return global_now + 1;
+            continue;
+        }
+        const MicroOp &op = ctx.staged;
+        if ((op.cls != OpClass::kLoad && op.cls != OpClass::kStore) ||
+            (op.fetchLineCross && !ctx.stagedFetchDone) ||
+            clockRatio_ != 1.0) {
+            return global_now + 1;
+        }
+        const Cycle ready =
+            std::max<Cycle>(coreNow_ + 1, dependencyReady(ctx, op));
+        const Cycle probe = globalFromCore(ready);
+        if (!hierarchy_.wouldRejectData(probe, op.addr))
+            return global_now + 1;
+        ++mshr_stalled;
+        const Cycle fill = hierarchy_.earliestPendingFill(probe);
+        const Cycle flip = coreFromGlobal(fill);
+        event = std::min(event,
+                         flip > coreNow_ + 2 ? flip - 1 : coreNow_ + 1);
+    }
+    skipRobStallContexts_ = rob_stalled;
+    skipMshrStallContexts_ = mshr_stalled;
+    return globalCycleForCoreEvent(global_now, event);
+}
+
+Cycle
+MorphCore::nextEventInOrder(Cycle global_now)
+{
+    // Mirrors InOrderCore::nextEventCycle, with issueInOrderFrom()'s
+    // 16-entry in-order window as the structural limit.
+    constexpr std::uint32_t kInOrderWindow = 16;
+    Cycle event = earliestHeadCompletion();
+    for (auto &ctx : contexts_) {
+        if (!ctx.thread && !ctx.hasStaged)
+            continue;
+        if (ctx.stallUntil > coreNow_) {
+            event = std::min(event, ctx.stallUntil);
+            continue;
+        }
+        if (ctx.robCount >=
+            std::min<std::size_t>(kInOrderWindow, ctx.rob.size()))
+            continue;
+        if (ctx.hasStaged || (ctx.thread && ctx.thread->hasWork()))
+            return global_now + 1;
+    }
+    return globalCycleForCoreEvent(global_now, event);
+}
+
+void
+MorphCore::onSkippedCoreCycles(Cycle core_cycles)
+{
+    const bool want_ooo = activeContexts() <= morph_.oooThreadLimit;
+    if (want_ooo != oooMode_ || stallUntilSwitch_ > coreNow_)
+        return; // draining or refilling: the dispatch stages never ran
+    fetchRotor_ += static_cast<std::uint32_t>(core_cycles);
+    stats_.robStallEvents += skipRobStallContexts_ * core_cycles;
+    stats_.mshrStallEvents += skipMshrStallContexts_ * core_cycles;
+}
+
 void
 MorphCore::coreCycle()
 {

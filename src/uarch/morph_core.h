@@ -47,13 +47,19 @@ class MorphCore : public Core
     /** Number of mode switches so far. */
     std::uint64_t modeSwitches() const { return modeSwitches_; }
 
+    Cycle nextEventCycle(Cycle global_now) override;
+
   protected:
     void coreCycle() override;
+    void onSkippedCoreCycles(Cycle core_cycles) override;
 
   private:
     void oooCycle();
     void inOrderCycle();
     std::uint32_t issueInOrderFrom(Context &ctx);
+
+    Cycle nextEventOoo(Cycle global_now);
+    Cycle nextEventInOrder(Cycle global_now);
 
     bool fuAvailable(OpClass cls) const;
     void consumeFu(OpClass cls);
@@ -64,6 +70,11 @@ class MorphCore : public Core
     Cycle stallUntilSwitch_ = 0;
     std::uint64_t modeSwitches_ = 0;
     std::uint32_t fuLeft_[kNumOpClasses] = {};
+
+    /** Stall-accrual counts cached by nextEventCycle for the immediately
+     * following skipTicks (see OooCore). */
+    std::uint64_t skipRobStallContexts_ = 0;
+    std::uint64_t skipMshrStallContexts_ = 0;
 };
 
 } // namespace smtflex

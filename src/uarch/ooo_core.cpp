@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.h"
+
 namespace smtflex {
 
 OooCore::OooCore(const CoreParams &params, std::uint32_t core_id,
@@ -9,6 +11,79 @@ OooCore::OooCore(const CoreParams &params, std::uint32_t core_id,
                  double chip_freq_ghz)
     : Core(params, core_id, num_contexts, shared, chip_freq_ghz)
 {
+    // coreCycle() arbitrates fetch through a fixed order[16] array; a
+    // wider configuration must fail here, loudly, not corrupt the stack.
+    if (numContexts() > 16)
+        fatal("OooCore ", params_.name, ": ", numContexts(),
+              " contexts exceed the 16-context fetch-arbitration limit");
+}
+
+Cycle
+OooCore::nextEventCycle(Cycle global_now)
+{
+    skipRobStallContexts_ = 0;
+    skipMshrStallContexts_ = 0;
+    const std::uint32_t partition = robPartitionSize();
+    Cycle event = earliestHeadCompletion(); // core cycles
+    std::uint64_t rob_stalled = 0;
+    std::uint64_t mshr_stalled = 0;
+    for (auto &ctx : contexts_) {
+        if (!ctx.thread && !ctx.hasStaged)
+            continue; // retirement only, covered by the head completion
+        if (ctx.frontStallUntil > coreNow_) {
+            // Redirect or I-miss in progress: dispatchFrom returns before
+            // touching any state until the stall expires.
+            event = std::min(event, ctx.frontStallUntil);
+            continue;
+        }
+        if (ctx.robCount >= partition) {
+            // Full ROB partition: one robStallEvent per cycle, nothing
+            // else; dispatch can only resume once the head retires.
+            ++rob_stalled;
+            continue;
+        }
+        if (!ctx.hasStaged) {
+            if (ctx.thread && ctx.thread->hasWork())
+                return global_now + 1; // stages and dispatches next cycle
+            continue; // out of work: only retirement remains
+        }
+        // A staged op dispatches next cycle unless it is a data access the
+        // memory system keeps rejecting for MSHR exhaustion. That retry
+        // loop is only analysable without probe-time rounding jitter at a
+        // unit clock ratio.
+        const MicroOp &op = ctx.staged;
+        if ((op.cls != OpClass::kLoad && op.cls != OpClass::kStore) ||
+            (op.fetchLineCross && !ctx.stagedFetchDone) ||
+            clockRatio_ != 1.0) {
+            return global_now + 1;
+        }
+        const Cycle ready =
+            std::max<Cycle>(coreNow_ + 1, dependencyReady(ctx, op));
+        const Cycle probe = globalFromCore(ready);
+        if (!hierarchy_.wouldRejectData(probe, op.addr))
+            return global_now + 1; // would dispatch next cycle
+        // Rejected: one mshrStallEvent per cycle until the probe time can
+        // reach the earliest outstanding fill.
+        ++mshr_stalled;
+        const Cycle fill = hierarchy_.earliestPendingFill(probe);
+        const Cycle flip = coreFromGlobal(fill);
+        event = std::min(event,
+                         flip > coreNow_ + 2 ? flip - 1 : coreNow_ + 1);
+    }
+    skipRobStallContexts_ = rob_stalled;
+    skipMshrStallContexts_ = mshr_stalled;
+    return globalCycleForCoreEvent(global_now, event);
+}
+
+void
+OooCore::onSkippedCoreCycles(Cycle core_cycles)
+{
+    // ICOUNT ordering does not touch the rotor; round-robin bumps it once
+    // per core cycle.
+    if (!(params_.fetchPolicy == FetchPolicy::kIcount && numContexts() > 1))
+        fetchRotor_ += static_cast<std::uint32_t>(core_cycles);
+    stats_.robStallEvents += skipRobStallContexts_ * core_cycles;
+    stats_.mshrStallEvents += skipMshrStallContexts_ * core_cycles;
 }
 
 void

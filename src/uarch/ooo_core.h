@@ -30,8 +30,11 @@ class OooCore : public Core
             std::uint32_t num_contexts, MemorySystem *shared,
             double chip_freq_ghz);
 
+    Cycle nextEventCycle(Cycle global_now) override;
+
   protected:
     void coreCycle() override;
+    void onSkippedCoreCycles(Cycle core_cycles) override;
 
   private:
     /** Why a context stopped dispatching this cycle. */
@@ -43,6 +46,12 @@ class OooCore : public Core
 
     /** Per-cycle remaining functional-unit slots. */
     std::uint32_t fuLeft_[kNumOpClasses] = {};
+
+    /** Contexts that accrue one robStallEvent / mshrStallEvent per core
+     * cycle across the span being skipped (cached by nextEventCycle for
+     * the immediately following skipTicks). */
+    std::uint64_t skipRobStallContexts_ = 0;
+    std::uint64_t skipMshrStallContexts_ = 0;
 
     void resetFuBudgets();
     bool fuAvailable(OpClass cls) const;

@@ -30,6 +30,30 @@ PrivateHierarchy::outstandingMisses(Cycle now) const
 }
 
 bool
+PrivateHierarchy::wouldRejectData(Cycle now, Addr addr) const
+{
+    // Mirror of accessInternal()'s reject fast path — the only way
+    // dataAccess() returns nullopt. Must stay exactly in sync with it.
+    if (mshrIndex_ < params_.mshrs)
+        return false;
+    const Cycle kth_recent =
+        mshrCompletion_[(mshrIndex_ - params_.mshrs) % kMshrRing];
+    return kth_recent > now && !l1d_.contains(addr) &&
+           !l2_.contains(addr) && outstandingMisses(now) >= params_.mshrs;
+}
+
+Cycle
+PrivateHierarchy::earliestPendingFill(Cycle now) const
+{
+    Cycle earliest = kCycleNever;
+    for (const Cycle completion : mshrCompletion_) {
+        if (completion > now)
+            earliest = std::min(earliest, completion);
+    }
+    return earliest;
+}
+
+bool
 PrivateHierarchy::allocateMshr(Cycle now, Cycle completion)
 {
     if (outstandingMisses(now) >= params_.mshrs)

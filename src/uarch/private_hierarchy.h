@@ -64,6 +64,24 @@ class PrivateHierarchy
     /** Number of misses currently outstanding past the L2. */
     std::uint32_t outstandingMisses(Cycle now) const;
 
+    /**
+     * True when dataAccess(@p now, @p addr, ...) would certainly be
+     * rejected for lack of a free MSHR — the exact reject fast path of
+     * accessInternal(), evaluated as a pure probe (no statistics, no LRU
+     * movement). Used by the cores' fast-forward analysis: while this
+     * holds, a retrying context performs no state change other than
+     * counting an mshrStallEvent.
+     */
+    bool wouldRejectData(Cycle now, Addr addr) const;
+
+    /**
+     * Earliest global cycle strictly after @p now at which an outstanding
+     * miss completes (i.e. the MSHR occupancy, and with it the reject
+     * outcome above, can next change); kCycleNever when nothing is
+     * outstanding.
+     */
+    Cycle earliestPendingFill(Cycle now) const;
+
     const SetAssocCache &l1i() const { return l1i_; }
     const SetAssocCache &l1d() const { return l1d_; }
     const SetAssocCache &l2() const { return l2_; }
