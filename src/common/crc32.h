@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum that
+ * tags ResultCache records on disk so torn or bit-rotted lines are
+ * detected on load instead of yielding corrupt results.
+ */
+
+#ifndef SMTFLEX_COMMON_CRC32_H
+#define SMTFLEX_COMMON_CRC32_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace smtflex {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/** CRC-32 of @p size bytes at @p data. */
+inline std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ detail::kCrc32Table[(crc ^ bytes[i]) & 0xFFu];
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/** CRC-32 of a string's bytes. */
+inline std::uint32_t
+crc32(const std::string &text)
+{
+    return crc32(text.data(), text.size());
+}
+
+} // namespace smtflex
+
+#endif // SMTFLEX_COMMON_CRC32_H

@@ -6,16 +6,30 @@
  * worker count or steal order, which is what makes SMTFLEX_JOBS=1 and
  * SMTFLEX_JOBS=N produce byte-identical figure output (the simulations
  * themselves are deterministic functions of their inputs).
+ *
+ * mapRecovering() adds the self-healing variant used by long sweeps:
+ * bounded retry with backoff for transiently failing experiments,
+ * quarantine (recorded; the sweep continues) for persistently failing
+ * ones, and a watchdog that reports wedged experiments. The exec.throw
+ * and exec.stall fault-injection sites (common/fault.h) fire inside its
+ * attempt loop, so the recovery machinery is provable under test.
  */
 
 #ifndef SMTFLEX_EXEC_EXPERIMENT_RUNNER_H
 #define SMTFLEX_EXEC_EXPERIMENT_RUNNER_H
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/log.h"
 #include "exec/parallel.h"
+#include "exec/recovery.h"
 #include "exec/thread_pool.h"
 
 namespace smtflex {
@@ -30,7 +44,8 @@ class ExperimentRunner
     /**
      * Evaluate fn(0..n-1) — one task per experiment, so the pool balances
      * even when experiment costs vary wildly — and return the results in
-     * index order. R must be default-constructible.
+     * index order. R must be default-constructible. The first exception
+     * propagates (see mapRecovering for the fault-tolerant variant).
      */
     template <typename Fn>
     auto map(std::size_t n, Fn &&fn)
@@ -51,6 +66,90 @@ class ExperimentRunner
     {
         return map(items.size(),
                    [&](std::size_t i) { return fn(items[i]); });
+    }
+
+    /**
+     * Self-healing map: like map(), but an experiment that throws
+     * (FatalError or any std::exception — PanicError still propagates,
+     * an internal invariant violation must not be papered over) is
+     * retried up to options.maxAttempts times with capped exponential
+     * backoff, and quarantined afterwards: its failure is recorded in
+     * the returned RecoveredResults and every other experiment still
+     * completes. Retried experiments return the value a fault-free run
+     * would (fn must be deterministic), so a sweep that recovers from
+     * transient faults is byte-identical to an undisturbed one.
+     */
+    template <typename Fn>
+    auto mapRecovering(std::size_t n, Fn &&fn,
+                       const RecoveryOptions &options = RecoveryOptions())
+        -> RecoveredResults<decltype(fn(std::size_t{0}))>
+    {
+        using R = decltype(fn(std::size_t{0}));
+        RecoveredResults<R> out;
+        out.results.resize(n);
+        out.ok.assign(n, 0);
+        Watchdog watchdog(n, options.watchdogMs);
+        std::mutex recordMutex;
+        std::uint64_t retries = 0;
+        parallel_for(
+            0, n,
+            [&](std::size_t i) {
+                for (unsigned attempt = 1;; ++attempt) {
+                    watchdog.beginExperiment(i);
+                    try {
+                        if (fault::shouldFire(fault::Site::kExecStall))
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(fault::param(
+                                    fault::Site::kExecStall, 50)));
+                        if (fault::shouldFire(fault::Site::kExecThrow))
+                            throw FatalError(
+                                "fault: injected experiment failure");
+                        out.results[i] = fn(i);
+                        watchdog.endExperiment(i);
+                        out.ok[i] = 1;
+                        return;
+                    } catch (const PanicError &) {
+                        watchdog.endExperiment(i);
+                        throw;
+                    } catch (const std::exception &e) {
+                        watchdog.endExperiment(i);
+                        if (attempt < options.maxAttempts) {
+                            std::lock_guard<std::mutex> lock(recordMutex);
+                            ++retries;
+                        } else {
+                            std::lock_guard<std::mutex> lock(recordMutex);
+                            out.quarantined.push_back(
+                                {i, attempt, e.what()});
+                            warn("experiment ", i, " quarantined after ",
+                                 attempt, " attempts: ", e.what());
+                            return;
+                        }
+                    }
+                    backoffSleep(options, attempt);
+                }
+            },
+            /*grain=*/1, pool_);
+        out.retries = retries;
+        out.stallsDetected = watchdog.stallsDetected();
+        // Deterministic order for reporting regardless of completion
+        // order.
+        std::sort(out.quarantined.begin(), out.quarantined.end(),
+                  [](const ExperimentFailure &a, const ExperimentFailure &b) {
+                      return a.index < b.index;
+                  });
+        return out;
+    }
+
+    /** mapRecovering over @p items; result i corresponds to items[i]. */
+    template <typename T, typename Fn>
+    auto mapItemsRecovering(const std::vector<T> &items, Fn &&fn,
+                            const RecoveryOptions &options =
+                                RecoveryOptions())
+        -> RecoveredResults<decltype(fn(std::declval<const T &>()))>
+    {
+        return mapRecovering(
+            items.size(), [&](std::size_t i) { return fn(items[i]); },
+            options);
     }
 
   private:

@@ -1,0 +1,109 @@
+#include "recovery.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.h"
+
+namespace smtflex {
+namespace exec {
+
+namespace {
+
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+constexpr std::uint64_t kReported = ~std::uint64_t{0};
+
+} // namespace
+
+Watchdog::Watchdog(std::size_t n, std::uint64_t deadline_ms)
+    : deadlineMs_(deadline_ms), startMs_(n)
+{
+    for (auto &slot : startMs_)
+        slot.store(0, std::memory_order_relaxed);
+    if (deadlineMs_ > 0 && n > 0)
+        monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+Watchdog::~Watchdog()
+{
+    if (monitor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        monitor_.join();
+    }
+}
+
+void
+Watchdog::beginExperiment(std::size_t index)
+{
+    if (deadlineMs_ == 0)
+        return;
+    // nowMs() could in principle be 0 on some clocks; 1 keeps "idle"
+    // distinguishable.
+    startMs_[index].store(std::max<std::uint64_t>(1, nowMs()),
+                          std::memory_order_release);
+}
+
+void
+Watchdog::endExperiment(std::size_t index)
+{
+    if (deadlineMs_ == 0)
+        return;
+    startMs_[index].store(0, std::memory_order_release);
+}
+
+void
+Watchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Poll at a quarter of the deadline so a stall is reported at most
+    // ~1.25 deadlines after it began.
+    const auto period =
+        std::chrono::milliseconds(std::max<std::uint64_t>(
+            1, deadlineMs_ / 4));
+    while (!cv_.wait_for(lock, period, [this] { return stopping_; })) {
+        const std::uint64_t now = nowMs();
+        for (std::size_t i = 0; i < startMs_.size(); ++i) {
+            std::uint64_t started =
+                startMs_[i].load(std::memory_order_acquire);
+            if (started == 0 || started == kReported)
+                continue;
+            if (now - started < deadlineMs_)
+                continue;
+            // Report once per attempt: only the first observer flips the
+            // slot to the reported marker.
+            if (startMs_[i].compare_exchange_strong(
+                    started, kReported, std::memory_order_acq_rel)) {
+                stalls_.fetch_add(1, std::memory_order_relaxed);
+                warn("watchdog: experiment ", i, " running for ",
+                     now - started, " ms (deadline ", deadlineMs_,
+                     " ms); it blocks a worker until it returns");
+            }
+        }
+    }
+}
+
+void
+backoffSleep(const RecoveryOptions &options, unsigned attempt)
+{
+    std::uint64_t delay = options.backoffBaseMs;
+    for (unsigned i = 1; i < attempt && delay < options.backoffCapMs; ++i)
+        delay *= 2;
+    delay = std::min(delay, options.backoffCapMs);
+    if (delay > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+} // namespace exec
+} // namespace smtflex

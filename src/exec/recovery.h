@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Failure-recovery helpers for the experiment engine: retry/backoff
+ * policy, quarantine records and the per-experiment watchdog that
+ * detects wedged experiments. Used by ExperimentRunner::mapRecovering
+ * (see experiment_runner.h) to make long sweeps self-healing — a
+ * transiently failing experiment is retried with backoff, a persistently
+ * failing one is quarantined (recorded; the sweep continues), and a
+ * stalled one is detected and reported while it blocks a worker.
+ */
+
+#ifndef SMTFLEX_EXEC_RECOVERY_H
+#define SMTFLEX_EXEC_RECOVERY_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smtflex {
+namespace exec {
+
+/** Retry-and-backoff policy of one mapRecovering call. */
+struct RecoveryOptions
+{
+    /** Total tries per experiment (first try included). After the last
+     * failure the experiment is quarantined. */
+    unsigned maxAttempts = 3;
+    /** Sleep before retry k is backoffBaseMs << (k-1), capped. */
+    std::uint64_t backoffBaseMs = 1;
+    std::uint64_t backoffCapMs = 64;
+    /** An experiment running longer than this is reported as stalled
+     * (it cannot be safely killed in-process, but it is detected,
+     * counted and named). 0 disables the watchdog. */
+    std::uint64_t watchdogMs = 0;
+};
+
+/** One quarantined experiment: which, why, after how many tries. */
+struct ExperimentFailure
+{
+    std::size_t index = 0;
+    unsigned attempts = 0;
+    std::string error;
+};
+
+/** Outcome of a recovering map over n experiments. */
+template <typename R>
+struct RecoveredResults
+{
+    /** results[i] is fn(i)'s value; default-constructed when i was
+     * quarantined (check ok[i]). */
+    std::vector<R> results;
+    std::vector<std::uint8_t> ok; ///< per-index success flag
+    std::vector<ExperimentFailure> quarantined;
+    std::uint64_t retries = 0;        ///< extra attempts that ran
+    std::uint64_t stallsDetected = 0; ///< watchdog reports
+
+    bool allOk() const { return quarantined.empty(); }
+};
+
+/**
+ * Watches a batch of experiments for stalls: workers mark start/finish
+ * per index, and a monitor thread reports (via warn() and a counter) any
+ * experiment still running past the deadline. Detection only — a wedged
+ * computation cannot be cancelled safely in-process, but it is named
+ * while it blocks a worker instead of hanging the sweep silently.
+ */
+class Watchdog
+{
+  public:
+    /** Start watching @p n slots; @p deadline_ms == 0 disables. */
+    Watchdog(std::size_t n, std::uint64_t deadline_ms);
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Worker hooks around one attempt of experiment @p index. */
+    void beginExperiment(std::size_t index);
+    void endExperiment(std::size_t index);
+
+    /** Experiments reported as exceeding the deadline so far. */
+    std::uint64_t stallsDetected() const
+    {
+        return stalls_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void monitorLoop();
+
+    std::uint64_t deadlineMs_;
+    /** Start time of the running attempt in steady-clock ms, 0 = idle,
+     * -1 (max) = already reported. */
+    std::vector<std::atomic<std::uint64_t>> startMs_;
+    std::atomic<std::uint64_t> stalls_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread monitor_;
+};
+
+/** Deterministic capped exponential backoff sleep before retry
+ * @p attempt (1-based). */
+void backoffSleep(const RecoveryOptions &options, unsigned attempt);
+
+} // namespace exec
+} // namespace smtflex
+
+#endif // SMTFLEX_EXEC_RECOVERY_H

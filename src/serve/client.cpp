@@ -5,11 +5,16 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/log.h"
 
 namespace smtflex {
@@ -21,7 +26,9 @@ Client::~Client()
 }
 
 Client::Client(Client &&other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_))
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)),
+      retry_(other.retry_), host_(std::move(other.host_)),
+      port_(other.port_), reconnects_(other.reconnects_)
 {
 }
 
@@ -32,6 +39,10 @@ Client::operator=(Client &&other) noexcept
         close();
         fd_ = std::exchange(other.fd_, -1);
         decoder_ = std::move(other.decoder_);
+        retry_ = other.retry_;
+        host_ = std::move(other.host_);
+        port_ = other.port_;
+        reconnects_ = other.reconnects_;
     }
     return *this;
 }
@@ -48,7 +59,16 @@ Client::close()
 void
 Client::connect(const std::string &host, std::uint16_t port)
 {
+    host_ = host;
+    port_ = port;
+    reconnect();
+}
+
+void
+Client::reconnect()
+{
     close();
+    decoder_ = FrameDecoder(); // drop any half-received frame
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0)
         fatal("client: socket failed: ", std::strerror(errno));
@@ -58,13 +78,71 @@ Client::connect(const std::string &host, std::uint16_t port)
     sockaddr_in addr;
     std::memset(&addr, 0, sizeof(addr));
     addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-        fatal("client: invalid address '", host, "'");
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
+        fatal("client: invalid address '", host_, "'");
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0)
-        fatal("client: cannot connect to ", host, ":", port, ": ",
-              std::strerror(errno));
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        close();
+        fatal("client: cannot connect to ", host_, ":", port_, ": ",
+              std::strerror(err));
+    }
+}
+
+void
+Client::waitReady(short events, const char *what)
+{
+    if (retry_.opTimeoutMs == 0)
+        return; // blocking socket; the op itself waits
+    pollfd pfd{fd_, events, 0};
+    const int n = ::poll(&pfd, 1,
+                         static_cast<int>(std::min<std::uint64_t>(
+                             retry_.opTimeoutMs, INT32_MAX)));
+    if (n < 0 && errno != EINTR)
+        fatal("client: poll failed: ", std::strerror(errno));
+    if (n == 0) {
+        // The frame (or our request) may be half way through the stream;
+        // only a reconnect restores a decodable position.
+        close();
+        fatal("client: ", what, " timed out after ", retry_.opTimeoutMs,
+              " ms");
+    }
+}
+
+void
+Client::sendBytes(const void *data, std::size_t size)
+{
+    if (fd_ < 0)
+        fatal("client: not connected");
+    const char *bytes = static_cast<const char *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        if (fault::shouldFire(fault::Site::kNetDisconnect)) {
+            close();
+            fatal("client: injected disconnect during write");
+        }
+        if (fault::shouldFire(fault::Site::kNetEagain)) {
+            // An EAGAIN storm on a blocking socket degenerates to "try
+            // again"; model it as a skipped iteration.
+            continue;
+        }
+        std::size_t chunk = size - sent;
+        if (fault::shouldFire(fault::Site::kNetShortWrite))
+            chunk = std::min<std::size_t>(
+                chunk, fault::param(fault::Site::kNetShortWrite, 1));
+        waitReady(POLLOUT, "send");
+        const ssize_t n = ::write(fd_, bytes + sent, chunk);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        const int err = errno;
+        close();
+        fatal("client: write failed: ", std::strerror(err));
+    }
 }
 
 void
@@ -73,18 +151,7 @@ Client::send(const Json &request)
     if (fd_ < 0)
         fatal("client: not connected");
     const std::string frame = encodeFrame(request.dump());
-    std::size_t sent = 0;
-    while (sent < frame.size()) {
-        const ssize_t n =
-            ::write(fd_, frame.data() + sent, frame.size() - sent);
-        if (n > 0) {
-            sent += static_cast<std::size_t>(n);
-            continue;
-        }
-        if (errno == EINTR)
-            continue;
-        fatal("client: write failed: ", std::strerror(errno));
-    }
+    sendBytes(frame.data(), frame.size());
 }
 
 Json
@@ -94,17 +161,32 @@ Client::receive()
         fatal("client: not connected");
     std::string payload;
     while (!decoder_.next(payload)) {
+        if (fault::shouldFire(fault::Site::kNetDisconnect)) {
+            close();
+            fatal("client: injected disconnect during read");
+        }
+        if (fault::shouldFire(fault::Site::kNetEagain))
+            continue;
         char buf[16 * 1024];
-        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        std::size_t want = sizeof(buf);
+        if (fault::shouldFire(fault::Site::kNetShortRead))
+            want = std::max<std::uint64_t>(
+                1, fault::param(fault::Site::kNetShortRead, 1));
+        waitReady(POLLIN, "receive");
+        const ssize_t n = ::read(fd_, buf, want);
         if (n > 0) {
             decoder_.feed(buf, static_cast<std::size_t>(n));
             continue;
         }
-        if (n == 0)
+        if (n == 0) {
+            close();
             fatal("client: connection closed by server");
+        }
         if (errno == EINTR)
             continue;
-        fatal("client: read failed: ", std::strerror(errno));
+        const int err = errno;
+        close();
+        fatal("client: read failed: ", std::strerror(err));
     }
     return Json::parse(payload);
 }
@@ -112,8 +194,31 @@ Client::receive()
 Json
 Client::call(const Json &request)
 {
-    send(request);
-    return receive();
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            if (!connected())
+                reconnect();
+            send(request);
+            return receive();
+        } catch (const FatalError &) {
+            // Connection-level failure (disconnect, timeout, refused
+            // reconnect). The request never completed — or its reply is
+            // unreachable — so resending is safe: serve requests are
+            // idempotent and memoised server-side.
+            if (attempt >= retry_.maxRetries)
+                throw;
+            close();
+            std::uint64_t delay = retry_.backoffBaseMs;
+            for (unsigned i = 0; i < attempt && delay < retry_.backoffCapMs;
+                 ++i)
+                delay *= 2;
+            delay = std::min(delay, retry_.backoffCapMs);
+            if (delay > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+            ++reconnects_;
+        }
+    }
 }
 
 } // namespace serve

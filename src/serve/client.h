@@ -4,6 +4,15 @@
  * the `smtflex_loadgen` tool and the serve test suite. One Client is one
  * TCP connection; requests may be pipelined (send several, then receive)
  * and replies are correlated through the echoed "id" member.
+ *
+ * Robustness: connect() remembers its endpoint, so a RetryPolicy can make
+ * call() survive connection-level failures — it reconnects with capped
+ * exponential backoff and resends the request (serve requests are
+ * idempotent: simulations are deterministic and memoised server-side).
+ * Per-op timeouts bound how long one send/receive may block. Both default
+ * off, preserving the historic fail-fast behaviour. The net.* fault sites
+ * (common/fault.h) fire inside the socket loops, so short reads/writes,
+ * EAGAIN storms and mid-frame disconnects are testable on demand.
  */
 
 #ifndef SMTFLEX_SERVE_CLIENT_H
@@ -18,6 +27,19 @@
 namespace smtflex {
 namespace serve {
 
+/** Reconnect-and-retry behaviour of Client::call(). */
+struct RetryPolicy
+{
+    /** Extra attempts after the first failure (0 = historic fail-fast). */
+    unsigned maxRetries = 0;
+    /** Sleep before retry k is backoffBaseMs << (k-1), capped. */
+    std::uint64_t backoffBaseMs = 10;
+    std::uint64_t backoffCapMs = 1'000;
+    /** Bound on one blocking send/receive, 0 = wait forever. A timed-out
+     * op counts as a connection failure (the stream position is gone). */
+    std::uint64_t opTimeoutMs = 0;
+};
+
 class Client
 {
   public:
@@ -29,29 +51,62 @@ class Client
     Client(Client &&other) noexcept;
     Client &operator=(Client &&other) noexcept;
 
-    /** Connect to @p host:@p port; fatal() on failure. */
+    /** Connect to @p host:@p port; fatal() on failure. The endpoint is
+     * remembered for reconnect(). */
     void connect(const std::string &host, std::uint16_t port);
+
+    /** Re-establish the connection to the last connect()ed endpoint,
+     * discarding any partially received frame. */
+    void reconnect();
 
     bool connected() const { return fd_ >= 0; }
 
     /** Close the connection (idempotent). */
     void close();
 
+    /** Retry/timeout behaviour of call(); default = fail fast. */
+    void setRetryPolicy(const RetryPolicy &policy) { retry_ = policy; }
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
     /** Send one request document (does not wait for the reply). */
     void send(const Json &request);
 
     /**
      * Block until the next response frame arrives and parse it.
-     * fatal() on EOF or protocol errors.
+     * fatal() on EOF, timeout or protocol errors.
      */
     Json receive();
 
-    /** send() + receive() — the closed-loop convenience call. */
+    /**
+     * send() + receive() — the closed-loop convenience call. Under a
+     * RetryPolicy with maxRetries > 0, a connection-level failure
+     * (disconnect, timeout, refused reconnect) is retried by
+     * reconnecting with capped exponential backoff and resending
+     * @p request; fatal() once the attempts are exhausted.
+     */
     Json call(const Json &request);
+
+    /** Reconnect attempts call() has performed (diagnostics). */
+    std::uint64_t reconnects() const { return reconnects_; }
+
+    /**
+     * Write raw bytes to the socket, bypassing framing — a chaos-testing
+     * aid (the loadgen's garbage and partial-frame modes). fatal() on
+     * connection failure.
+     */
+    void sendBytes(const void *data, std::size_t size);
 
   private:
     int fd_ = -1;
     FrameDecoder decoder_;
+    RetryPolicy retry_;
+    std::string host_;
+    std::uint16_t port_ = 0;
+    std::uint64_t reconnects_ = 0;
+
+    /** poll() until the socket is ready for @p events or the op timeout
+     * expires; fatal() on timeout. */
+    void waitReady(short events, const char *what);
 };
 
 } // namespace serve

@@ -49,6 +49,81 @@ expandMix(const std::string &mix)
     return expanded;
 }
 
+enum class ChaosMode { kNone, kDisconnect, kPartialFrame, kGarbage };
+
+ChaosMode
+chaosModeFromName(const std::string &name)
+{
+    if (name.empty())
+        return ChaosMode::kNone;
+    if (name == "disconnect")
+        return ChaosMode::kDisconnect;
+    if (name == "partial-frame")
+        return ChaosMode::kPartialFrame;
+    if (name == "garbage")
+        return ChaosMode::kGarbage;
+    fatal("loadgen: unknown chaos mode '", name,
+          "' (disconnect, partial-frame, garbage)");
+}
+
+/**
+ * One chaos act on @p client, then a reconnect so the connection is
+ * usable again. The act itself may race the server closing us first —
+ * every failure path just feeds the reconnect.
+ */
+void
+performChaos(Client &client, ChaosMode mode, Rng &rng)
+{
+    try {
+        switch (mode) {
+          case ChaosMode::kNone:
+            return;
+          case ChaosMode::kDisconnect: {
+            // Request sent, reply abandoned mid-exchange: the server's
+            // completion fan-out must tolerate the missing waiter.
+            Json doc = Json::object();
+            doc.set("op", Json::string("ping"));
+            doc.set("delay_ms", Json::number(std::uint64_t{5}));
+            client.send(doc);
+            break;
+          }
+          case ChaosMode::kPartialFrame: {
+            // A prefix of a legitimate frame, then silence, then gone:
+            // exercises the server's half-frame buffering and its
+            // tolerance of clients that never finish.
+            Json doc = Json::object();
+            doc.set("op", Json::string("stats"));
+            const std::string frame = encodeFrame(doc.dump());
+            const std::size_t cut =
+                1 + rng.nextRange(frame.size() - 1);
+            client.sendBytes(frame.data(), cut);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                1 + rng.nextRange(10)));
+            break;
+          }
+          case ChaosMode::kGarbage: {
+            // Random bytes. Whatever they decode to — an absurd length
+            // prefix, unparseable JSON — the server must answer with a
+            // protocol error or close only THIS connection.
+            char junk[64];
+            for (char &c : junk)
+                c = static_cast<char>(rng.next() & 0xFF);
+            client.sendBytes(junk, sizeof(junk));
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            break;
+          }
+        }
+    } catch (const FatalError &) {
+        // The server may have cut us off mid-act; that is the point.
+    }
+    try {
+        client.reconnect();
+    } catch (const FatalError &) {
+        // Transient refusal (listen backlog pressure); the next call()
+        // retries under the client's policy.
+    }
+}
+
 } // namespace
 
 std::vector<Json>
@@ -109,6 +184,9 @@ LoadGenReport::summary() const
     if (mismatches)
         os << "MISMATCHES " << mismatches
            << " responses differed from the serial reference\n";
+    if (chaosEvents || reconnects)
+        os << "chaos      " << chaosEvents << " acts, " << reconnects
+           << " retry reconnects\n";
     os.setf(std::ios::fixed);
     os.precision(1);
     os << "throughput " << throughput << " req/s over " << seconds
@@ -140,9 +218,13 @@ runLoadGen(const LoadGenOptions &options)
     {
         std::vector<double> latenciesUs;
         std::uint64_t sent = 0, ok = 0, overloaded = 0, deadline = 0,
-                      otherErrors = 0, mismatches = 0;
+                      otherErrors = 0, mismatches = 0, chaosEvents = 0,
+                      reconnects = 0;
     };
     std::vector<PerConnection> results(options.connections);
+    const ChaosMode chaosMode = chaosModeFromName(options.chaos);
+    if (chaosMode != ChaosMode::kNone && options.chaosEvery == 0)
+        fatal("loadgen: chaosEvery must be >= 1");
 
     const auto started = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -150,12 +232,19 @@ runLoadGen(const LoadGenOptions &options)
     for (unsigned c = 0; c < options.connections; ++c) {
         threads.emplace_back([&, c] {
             PerConnection &mine = results[c];
+            Client client;
             try {
-                Client client;
+                client.setRetryPolicy(options.retry);
                 client.connect(options.host, options.port);
                 Rng rng(options.seed, c);
+                Rng chaosRng(options.seed, 5'000 + c);
                 for (unsigned i = 0; i < options.requestsPerConnection;
                      ++i) {
+                    if (chaosMode != ChaosMode::kNone &&
+                        chaosRng.nextRange(options.chaosEvery) == 0) {
+                        performChaos(client, chaosMode, chaosRng);
+                        mine.chaosEvents++;
+                    }
                     const std::string &op =
                         mix[rng.nextRange(mix.size())];
                     Json doc;
@@ -213,10 +302,12 @@ runLoadGen(const LoadGenOptions &options)
                     }
                 }
             } catch (const FatalError &) {
-                // Connection-level failure: everything not yet sent on
-                // this connection is lost; count one hard error.
+                // Connection-level failure past the retry budget:
+                // everything not yet sent on this connection is lost;
+                // count one hard error.
                 mine.otherErrors++;
             }
+            mine.reconnects = client.reconnects();
         });
     }
     for (auto &thread : threads)
@@ -232,6 +323,8 @@ runLoadGen(const LoadGenOptions &options)
         report.deadline += mine.deadline;
         report.otherErrors += mine.otherErrors;
         report.mismatches += mine.mismatches;
+        report.chaosEvents += mine.chaosEvents;
+        report.reconnects += mine.reconnects;
         latencies.insert(latencies.end(), mine.latenciesUs.begin(),
                          mine.latenciesUs.end());
     }

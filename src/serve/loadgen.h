@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/client.h"
 #include "serve/json.h"
 
 namespace smtflex {
@@ -52,6 +53,25 @@ struct LoadGenOptions
      * and mismatches are counted (the loopback e2e correctness check).
      */
     std::map<std::string, std::string> expectedOutputs;
+
+    /**
+     * Chaos mode: between well-formed requests every connection
+     * periodically misbehaves, then reconnects and resumes. The server
+     * must shrug every mode off — stay up, keep other connections
+     * unaffected, and answer the post-chaos well-formed requests.
+     *   ""              no chaos (default)
+     *   "disconnect"    abruptly close mid-exchange (request sent, reply
+     *                   abandoned)
+     *   "partial-frame" send a prefix of a valid frame, hang briefly,
+     *                   then vanish
+     *   "garbage"       send random bytes that are not a valid frame
+     */
+    std::string chaos;
+    /** A chaos act fires roughly every chaosEvery requests (>= 1). */
+    unsigned chaosEvery = 3;
+
+    /** Client-side robustness knobs applied to every connection. */
+    RetryPolicy retry;
 };
 
 struct LoadGenReport
@@ -62,6 +82,8 @@ struct LoadGenReport
     std::uint64_t deadline = 0;
     std::uint64_t otherErrors = 0;
     std::uint64_t mismatches = 0; ///< outputs differing from expected
+    std::uint64_t chaosEvents = 0; ///< chaos acts performed
+    std::uint64_t reconnects = 0;  ///< client reconnects (chaos + retry)
     double seconds = 0.0;
     double throughput = 0.0; ///< completed requests per second
     double p50Us = 0.0, p90Us = 0.0, p99Us = 0.0, maxUs = 0.0;

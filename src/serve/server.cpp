@@ -13,6 +13,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "common/log.h"
 #include "exec/experiment_runner.h"
 #include "exec/thread_pool.h"
@@ -166,9 +167,10 @@ Server::run()
     eventLoop();
 
     // Drain complete: every queued/in-flight request answered and every
-    // response flushed. Persist what the engine learned and leave.
+    // response flushed. Persist what the engine learned — atomically, so
+    // a crash during shutdown cannot tear the cache — and leave.
     dispatcher_.join();
-    engine_.resultCache().flush();
+    engine_.resultCache().checkpoint();
     for (auto &[id, conn] : connections_) {
         ::close(conn->fd);
         conn->fd = -1;
@@ -328,7 +330,16 @@ Server::handleReadable(Connection &conn)
     char buf[16 * 1024];
     std::size_t taken = 0;
     while (taken < kReadBudget) {
-        const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+        // Injection seams: a short read exercises frame reassembly, an
+        // EAGAIN storm the level-triggered re-poll (leftover bytes are
+        // reported readable again).
+        if (fault::shouldFire(fault::Site::kNetEagain))
+            break;
+        std::size_t want = sizeof(buf);
+        if (fault::shouldFire(fault::Site::kNetShortRead))
+            want = std::max<std::uint64_t>(
+                1, fault::param(fault::Site::kNetShortRead, 1));
+        const ssize_t n = ::read(conn.fd, buf, want);
         if (n > 0) {
             conn.decoder.feed(buf, static_cast<std::size_t>(n));
             taken += static_cast<std::size_t>(n);
@@ -489,6 +500,8 @@ Server::statsBody() const
               Json::number(std::uint64_t{engine_.resultCache().size()}));
     stats.set("result_cache_path",
               Json::string(engine_.resultCache().path()));
+    stats.set("result_cache_corrupt_lines",
+              Json::number(engine_.resultCache().corruptLinesSkipped()));
     stats.set("draining", Json::boolean(draining_));
     body.set("stats", std::move(stats));
     return body;
@@ -526,9 +539,14 @@ void
 Server::handleWritable(Connection &conn)
 {
     while (conn.outOffset < conn.outBuffer.size()) {
+        std::size_t chunk = conn.outBuffer.size() - conn.outOffset;
+        if (fault::shouldFire(fault::Site::kNetShortWrite))
+            chunk = std::max<std::uint64_t>(
+                1, fault::param(fault::Site::kNetShortWrite, 1));
         const ssize_t n =
             ::write(conn.fd, conn.outBuffer.data() + conn.outOffset,
-                    conn.outBuffer.size() - conn.outOffset);
+                    std::min(chunk,
+                             conn.outBuffer.size() - conn.outOffset));
         if (n > 0) {
             conn.outOffset += static_cast<std::size_t>(n);
             continue;

@@ -69,11 +69,20 @@ ChipConfig::validate() const
     if (name.empty())
         fatal("ChipConfig: empty name");
     if (cores.empty())
-        fatal("ChipConfig ", name, ": no cores");
+        fatal("ChipConfig ", name, ": cores must not be empty");
     for (const auto &core : cores)
         core.validate();
-    if (llc.sizeBytes == 0 || llc.numLines() % llc.assoc != 0)
-        fatal("ChipConfig ", name, ": bad LLC geometry");
+    if (llc.sizeBytes == 0)
+        fatal("ChipConfig ", name, ": llc.sizeBytes must be > 0");
+    if (llc.assoc == 0)
+        fatal("ChipConfig ", name, ": llc.assoc must be > 0");
+    if (llc.numLines() % llc.assoc != 0)
+        fatal("ChipConfig ", name, ": bad LLC geometry (", llc.sizeBytes,
+              " bytes not divisible into ", llc.assoc, "-way sets)");
+    if (llcLatency == 0)
+        fatal("ChipConfig ", name, ": llcLatency must be > 0");
+    if (dram.busBandwidthGBps <= 0.0)
+        fatal("ChipConfig ", name, ": dram.busBandwidthGBps must be > 0");
     if (chipFreqGHz <= 0.0)
         fatal("ChipConfig ", name, ": bad chip frequency");
 }

@@ -286,6 +286,10 @@ ChipSim::runMultiProgram(const std::vector<ThreadSpec> &specs,
 {
     if (specs.empty())
         fatal("ChipSim: empty workload");
+    if (limits.maxCycles == 0)
+        fatal("ChipSim: RunLimits.maxCycles must be > 0");
+    if (limits.quantum == 0)
+        fatal("ChipSim: RunLimits.quantum must be > 0");
     validatePlacement(placement, specs.size());
 
     // Materialise the threads.

@@ -10,7 +10,8 @@
 #define SMTFLEX_STUDY_RESULT_CACHE_H
 
 #include <array>
-#include <fstream>
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,21 +32,41 @@ namespace smtflex {
  * are appended as they are computed, so an interrupted sweep resumes where
  * it stopped.
  *
- * On-disk format, one record per line: `key|v1 v2 ...`. Keys are escaped
- * on write ('\\' -> "\\\\", '|' -> "\\p", newline -> "\\n", carriage
- * return -> "\\r") so any non-empty key round-trips; unescaped legacy
- * files load unchanged. The pre-sharding single-file format (everything in
- * `<path>` itself) is still loaded first, and shard segments override it,
- * so existing caches keep working; new records only ever land in shard
- * segments.
+ * On-disk format, one record per line: `key|v1 v2 ...|cXXXXXXXX`, where
+ * the trailing field is the CRC-32 of everything before its separator, in
+ * eight hex digits. Keys are escaped on write ('\\' -> "\\\\", '|' ->
+ * "\\p", newline -> "\\n", carriage return -> "\\r") so any non-empty key
+ * round-trips. Both older formats still load: the pre-sharding single
+ * file (`<path>` itself, loaded first so shard segments override it) and
+ * CRC-less `key|v1 v2 ...` lines.
+ *
+ * Durability: lines that fail the CRC or are structurally broken (a torn
+ * final write, a merged line after a short append) are skipped, counted
+ * (corruptLinesSkipped()) and reported with one warning per file — a
+ * corrupt line costs one recomputation, never a corrupt result. Appends
+ * that come up short are terminated and retried so the record still
+ * persists. checkpoint() rewrites every segment through the atomic
+ * tmp + rename + fsync dance; SMTFLEX_CACHE_FSYNC=1 additionally fsyncs
+ * each appended record. Injection seams (smtflex::fault sites io.write,
+ * io.fsync, io.load) make all of these paths testable on demand.
  */
 class ResultCache
 {
   public:
     static constexpr std::size_t kNumShards = 16;
 
+    /**
+     * First line of every segment this version writes. Files carrying it
+     * are parsed strictly — every record must have a matching CRC, so a
+     * record truncated before its tag can never masquerade as a CRC-less
+     * legacy record with silently shortened values. Files without it
+     * (committed legacy caches) keep the lax legacy parsing.
+     */
+    static constexpr const char *kFormatHeader = "#smtflex-cache-v2";
+
     /** Open (and load) the cache at @p path; empty path = in-memory only. */
     explicit ResultCache(std::string path);
+    ~ResultCache();
 
     /**
      * Copy of a record, or nullopt when absent. Safe against concurrent
@@ -67,29 +88,58 @@ class ResultCache
     std::size_t size() const;
     const std::string &path() const { return path_; }
 
-    /** Flush every shard's append stream to disk (graceful-shutdown
-     * hook; individual stores already flush their own record). */
+    /** Push every shard's appended records to stable storage (fsync).
+     * Cheap graceful-shutdown hook; see checkpoint() for the atomic
+     * full-snapshot variant. */
     void flush();
+
+    /**
+     * Atomically rewrite every shard segment as a full snapshot of its
+     * in-memory entries: write `<segment>.tmp`, fsync it, rename it over
+     * the segment and fsync the directory. A crash at any point leaves
+     * either the old or the new segment, never a torn one.
+     * @return whether every shard was persisted (failures are warned and
+     * leave that shard's old segment in place).
+     */
+    bool checkpoint();
+
+    /** Corrupt/partial lines skipped across all loads of this instance.
+     * Surfaced by the serve `stats` op. */
+    std::uint64_t corruptLinesSkipped() const
+    {
+        return corruptSkipped_.load(std::memory_order_relaxed);
+    }
 
     /** Escape/unescape a key for the on-disk format (exposed for tests). */
     static std::string escapeKey(const std::string &key);
     static std::string unescapeKey(const std::string &escaped);
+
+    /** Format one on-disk record line, CRC tag and trailing newline
+     * included (exposed for tests). */
+    static std::string formatRecord(const std::string &key,
+                                    const std::vector<double> &values);
 
   private:
     struct Shard
     {
         mutable std::mutex mutex;
         std::map<std::string, std::vector<double>> entries;
-        std::ofstream out; ///< lazily opened append stream
+        int fd = -1; ///< lazily opened append descriptor
     };
 
     std::size_t shardOf(const std::string &key) const;
     std::string shardPath(std::size_t index) const;
     void loadFile(const std::string &file_path);
     void load();
+    /** Append @p record to the shard's segment, healing short writes.
+     * Caller holds the shard mutex. */
+    void appendRecord(Shard &shard, std::size_t index,
+                      const std::string &record);
 
     std::string path_;
+    bool fsyncEachStore_ = false;
     std::array<std::unique_ptr<Shard>, kNumShards> shards_;
+    std::atomic<std::uint64_t> corruptSkipped_{0};
 };
 
 } // namespace smtflex

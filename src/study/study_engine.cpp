@@ -190,18 +190,32 @@ StudyEngine::multiprogram(const ChipConfig &config,
 namespace {
 
 /** Aggregate per-workload metrics: harmonic mean for STP (a rate metric),
- * arithmetic means for the rest. */
+ * arithmetic means for the rest. Quarantined workloads (a persistently
+ * failing experiment the recovery layer gave up on) are excluded from the
+ * aggregate rather than poisoning it; losing every workload is fatal. */
 RunMetrics
-aggregate(const std::vector<RunMetrics> &runs)
+aggregate(const exec::RecoveredResults<RunMetrics> &sweep,
+          const char *what)
 {
     std::vector<double> stp, antt, pg, pu, cycles;
-    for (const auto &run : runs) {
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+        if (!sweep.ok[i])
+            continue;
+        const RunMetrics &run = sweep.results[i];
         stp.push_back(run.stp);
         antt.push_back(run.antt);
         pg.push_back(run.powerGatedW);
         pu.push_back(run.powerUngatedW);
         cycles.push_back(run.cycles);
     }
+    if (stp.empty())
+        fatal(what, ": every workload quarantined (first error: ",
+              sweep.quarantined.empty() ? "none"
+                                        : sweep.quarantined[0].error,
+              ")");
+    if (!sweep.quarantined.empty())
+        warn(what, ": aggregating without ", sweep.quarantined.size(),
+             " quarantined workload(s) of ", sweep.results.size());
     RunMetrics agg;
     agg.stp = harmonicMean(stp);
     agg.antt = arithmeticMean(antt);
@@ -228,11 +242,17 @@ StudyEngine::homogeneousAt(const ChipConfig &config, std::uint32_t n)
     // itself a parallel region, and prebuilding it means every parallel
     // workload run below hits the memoised table.
     offline();
+    // The self-healing map: transient experiment failures retry with
+    // backoff (deterministic results, so recovery is invisible in the
+    // output), persistent ones quarantine instead of killing the sweep.
     exec::ExperimentRunner runner;
     return aggregate(
-        runner.mapItems(specBenchmarkNames(), [&](const std::string &bench) {
-            return homogeneousBenchmarkAt(config, bench, n);
-        }));
+        runner.mapItemsRecovering(
+            specBenchmarkNames(),
+            [&](const std::string &bench) {
+                return homogeneousBenchmarkAt(config, bench, n);
+            }),
+        "homogeneousAt");
 }
 
 RunMetrics
@@ -245,11 +265,13 @@ StudyEngine::heterogeneousAt(const ChipConfig &config, std::uint32_t n)
     }
     offline();
     exec::ExperimentRunner runner;
-    return aggregate(runner.mapItems(
-        heterogeneousWorkloads(n, options_.hetMixes, options_.seed),
-        [&](const MultiProgramWorkload &mix) {
-            return multiprogram(config, mix);
-        }));
+    return aggregate(
+        runner.mapItemsRecovering(
+            heterogeneousWorkloads(n, options_.hetMixes, options_.seed),
+            [&](const MultiProgramWorkload &mix) {
+                return multiprogram(config, mix);
+            }),
+        "heterogeneousAt");
 }
 
 double

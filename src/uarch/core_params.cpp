@@ -113,6 +113,24 @@ CoreParams::withFrequency(double ghz) const
     return p;
 }
 
+namespace {
+
+void
+validateGeometry(const std::string &core, const char *which,
+                 const CacheGeometry &geometry)
+{
+    if (geometry.sizeBytes == 0)
+        fatal("CoreParams ", core, ": ", which, ".sizeBytes must be > 0");
+    if (geometry.assoc == 0)
+        fatal("CoreParams ", core, ": ", which, ".assoc must be > 0");
+    if (geometry.numLines() < geometry.assoc)
+        fatal("CoreParams ", core, ": ", which,
+              " smaller than one set (", geometry.sizeBytes, " bytes, ",
+              geometry.assoc, "-way)");
+}
+
+} // namespace
+
 void
 CoreParams::validate() const
 {
@@ -126,6 +144,13 @@ CoreParams::validate() const
         fatal("CoreParams ", name, ": ROB partition would be empty");
     if (intUnits == 0 || ldstUnits == 0)
         fatal("CoreParams ", name, ": need int and ld/st units");
+    if (mulUnits == 0 || fpUnits == 0)
+        fatal("CoreParams ", name, ": need mul and fp units");
+    if (latL1 == 0)
+        fatal("CoreParams ", name, ": latL1 must be > 0");
+    validateGeometry(name, "l1i", l1i);
+    validateGeometry(name, "l1d", l1d);
+    validateGeometry(name, "l2", l2);
     if (freqGHz <= 0.0)
         fatal("CoreParams ", name, ": bad frequency");
     if (mshrs == 0)

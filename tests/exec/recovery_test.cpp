@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the self-healing experiment machinery: mapRecovering's
+ * retry/quarantine semantics (both with real exceptions and the
+ * exec.throw injection site), the watchdog's stall detection and the
+ * PanicError escape hatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/log.h"
+#include "exec/experiment_runner.h"
+#include "exec/recovery.h"
+
+namespace smtflex {
+namespace {
+
+using exec::ExperimentRunner;
+using exec::RecoveryOptions;
+using exec::Watchdog;
+
+class RecoveryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(RecoveryTest, FaultFreeMapRecoversNothing)
+{
+    ExperimentRunner runner;
+    const auto out = runner.mapRecovering(
+        16, [](std::size_t i) { return static_cast<double>(i) * 2.0; });
+    ASSERT_TRUE(out.allOk());
+    EXPECT_EQ(out.retries, 0u);
+    EXPECT_EQ(out.stallsDetected, 0u);
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(out.ok[i], 1);
+        EXPECT_DOUBLE_EQ(out.results[i], i * 2.0);
+    }
+}
+
+TEST_F(RecoveryTest, TransientFailureIsRetriedToSuccess)
+{
+    // Experiment 3 fails twice, then succeeds; the sweep's results are
+    // the ones a fault-free run produces.
+    std::atomic<unsigned> failures{0};
+    ExperimentRunner runner;
+    RecoveryOptions options;
+    options.maxAttempts = 3;
+    const auto out = runner.mapRecovering(
+        8,
+        [&](std::size_t i) -> int {
+            if (i == 3 && failures.fetch_add(1) < 2)
+                throw FatalError("flaky");
+            return static_cast<int>(i) + 100;
+        },
+        options);
+    ASSERT_TRUE(out.allOk());
+    EXPECT_EQ(out.retries, 2u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(out.results[i], static_cast<int>(i) + 100);
+}
+
+TEST_F(RecoveryTest, PersistentFailureIsQuarantined)
+{
+    ExperimentRunner runner;
+    RecoveryOptions options;
+    options.maxAttempts = 2;
+    const auto out = runner.mapRecovering(
+        6,
+        [](std::size_t i) -> int {
+            if (i == 1 || i == 4)
+                throw std::runtime_error("experiment is broken");
+            return static_cast<int>(i);
+        },
+        options);
+    EXPECT_FALSE(out.allOk());
+    ASSERT_EQ(out.quarantined.size(), 2u);
+    // Deterministic index order regardless of completion order.
+    EXPECT_EQ(out.quarantined[0].index, 1u);
+    EXPECT_EQ(out.quarantined[1].index, 4u);
+    EXPECT_EQ(out.quarantined[0].attempts, 2u);
+    EXPECT_NE(out.quarantined[0].error.find("broken"), std::string::npos);
+    // The healthy experiments all completed.
+    for (const std::size_t i : {0u, 2u, 3u, 5u}) {
+        EXPECT_EQ(out.ok[i], 1);
+        EXPECT_EQ(out.results[i], static_cast<int>(i));
+    }
+    EXPECT_EQ(out.ok[1], 0);
+    EXPECT_EQ(out.ok[4], 0);
+}
+
+TEST_F(RecoveryTest, PanicPropagates)
+{
+    ExperimentRunner runner;
+    EXPECT_THROW(runner.mapRecovering(4,
+                                      [](std::size_t) -> int {
+                                          throw PanicError("invariant");
+                                      }),
+                 PanicError);
+}
+
+TEST_F(RecoveryTest, InjectedThrowIsInvisibleInTheResults)
+{
+    ExperimentRunner runner;
+    const auto fn = [](std::size_t i) {
+        return static_cast<double>(i) * 1.5 + 1.0;
+    };
+    const auto clean = runner.mapRecovering(32, fn);
+    ASSERT_TRUE(clean.allOk());
+
+    // Two injected failures somewhere in the sweep: both are retried and
+    // the output is identical to the undisturbed run.
+    fault::configure("exec.throw:limit=2");
+    const auto chaotic = runner.mapRecovering(32, fn);
+    fault::reset();
+    ASSERT_TRUE(chaotic.allOk());
+    EXPECT_EQ(chaotic.retries, 2u);
+    EXPECT_EQ(chaotic.results, clean.results);
+}
+
+TEST_F(RecoveryTest, InjectedThrowBeyondAttemptsQuarantines)
+{
+    // p=1 with no limit: every attempt of every experiment fails.
+    fault::configure("exec.throw");
+    ExperimentRunner runner;
+    RecoveryOptions options;
+    options.maxAttempts = 2;
+    const auto out = runner.mapRecovering(
+        3, [](std::size_t i) { return static_cast<int>(i); }, options);
+    fault::reset();
+    EXPECT_EQ(out.quarantined.size(), 3u);
+    for (const auto &failure : out.quarantined) {
+        EXPECT_EQ(failure.attempts, 2u);
+        EXPECT_NE(failure.error.find("injected"), std::string::npos);
+    }
+}
+
+TEST_F(RecoveryTest, WatchdogReportsAStalledExperiment)
+{
+    Watchdog watchdog(2, 20);
+    watchdog.beginExperiment(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_EQ(watchdog.stallsDetected(), 1u); // reported exactly once
+    watchdog.endExperiment(0);
+    // A fast experiment is never reported.
+    watchdog.beginExperiment(1);
+    watchdog.endExperiment(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_EQ(watchdog.stallsDetected(), 1u);
+}
+
+TEST_F(RecoveryTest, DisabledWatchdogNeverReports)
+{
+    Watchdog watchdog(1, 0);
+    watchdog.beginExperiment(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    watchdog.endExperiment(0);
+    EXPECT_EQ(watchdog.stallsDetected(), 0u);
+}
+
+TEST_F(RecoveryTest, InjectedStallIsDetectedAndTheSweepCompletes)
+{
+    fault::configure("exec.stall:limit=1;param=150");
+    ExperimentRunner runner;
+    RecoveryOptions options;
+    options.watchdogMs = 30;
+    const auto out = runner.mapRecovering(
+        4, [](std::size_t i) { return static_cast<int>(i); }, options);
+    fault::reset();
+    ASSERT_TRUE(out.allOk());
+    EXPECT_GE(out.stallsDetected, 1u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(out.results[i], static_cast<int>(i));
+}
+
+TEST_F(RecoveryTest, BackoffSleepIsBounded)
+{
+    RecoveryOptions options;
+    options.backoffBaseMs = 1;
+    options.backoffCapMs = 4;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned attempt = 1; attempt <= 6; ++attempt)
+        exec::backoffSleep(options, attempt);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    // 1 + 2 + 4 + 4 + 4 + 4 = 19 ms of sleeps, far below the uncapped
+    // 1 + 2 + 4 + 8 + 16 + 32; allow generous scheduling slack.
+    EXPECT_GE(elapsed.count(), 15);
+    EXPECT_LT(elapsed.count(), 2000);
+}
+
+} // namespace
+} // namespace smtflex

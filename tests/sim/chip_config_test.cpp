@@ -81,5 +81,54 @@ TEST(ChipConfigTest, ValidationRejectsNonsense)
     EXPECT_THROW(cfg.contextsOf(5), FatalError);
 }
 
+/** validate() must throw and the message must name @p field. */
+void
+expectRejected(const ChipConfig &cfg, const std::string &field)
+{
+    try {
+        cfg.validate();
+        FAIL() << "validate() accepted degenerate " << field;
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+            << "error message does not name '" << field << "': " << e.what();
+    }
+}
+
+TEST(ChipConfigTest, ValidationNamesEmptyCoreList)
+{
+    ChipConfig cfg = ChipConfig::homogeneous("x", CoreParams::big(), 1);
+    cfg.cores.clear();
+    expectRejected(cfg, "cores");
+}
+
+TEST(ChipConfigTest, ValidationRejectsZeroLlcSize)
+{
+    ChipConfig cfg = ChipConfig::homogeneous("x", CoreParams::big(), 1);
+    cfg.llc.sizeBytes = 0;
+    expectRejected(cfg, "llc.sizeBytes");
+}
+
+TEST(ChipConfigTest, ValidationRejectsZeroLlcAssoc)
+{
+    // assoc = 0 used to divide by zero inside validate() itself.
+    ChipConfig cfg = ChipConfig::homogeneous("x", CoreParams::big(), 1);
+    cfg.llc.assoc = 0;
+    expectRejected(cfg, "llc.assoc");
+}
+
+TEST(ChipConfigTest, ValidationRejectsZeroLlcLatency)
+{
+    ChipConfig cfg = ChipConfig::homogeneous("x", CoreParams::big(), 1);
+    cfg.llcLatency = 0;
+    expectRejected(cfg, "llcLatency");
+}
+
+TEST(ChipConfigTest, ValidationRejectsZeroDramBandwidth)
+{
+    ChipConfig cfg = ChipConfig::homogeneous("x", CoreParams::big(), 1);
+    cfg.dram.busBandwidthGBps = 0.0;
+    expectRejected(cfg, "dram.busBandwidthGBps");
+}
+
 } // namespace
 } // namespace smtflex

@@ -206,5 +206,41 @@ TEST(ChipSimTest, CycleLimitReported)
     EXPECT_FALSE(r.threads[0].finished);
 }
 
+TEST(ChipSimTest, ZeroMaxCyclesRejected)
+{
+    ChipConfig cfg = ChipConfig::homogeneous("1B", CoreParams::big(), 1);
+    ChipSim chip(cfg);
+    Placement pl;
+    pl.entries = {{0, 0}};
+    RunLimits limits;
+    limits.maxCycles = 0;
+    try {
+        chip.runMultiProgram({{&specProfile("hmmer"), 100, 0}}, pl, 42,
+                             limits);
+        FAIL() << "maxCycles = 0 accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("maxCycles"),
+                  std::string::npos) << e.what();
+    }
+}
+
+TEST(ChipSimTest, ZeroQuantumRejected)
+{
+    ChipConfig cfg = ChipConfig::homogeneous("1B", CoreParams::big(), 1);
+    ChipSim chip(cfg);
+    Placement pl;
+    pl.entries = {{0, 0}};
+    RunLimits limits;
+    limits.quantum = 0; // would never rotate time-shared threads
+    try {
+        chip.runMultiProgram({{&specProfile("hmmer"), 100, 0}}, pl, 42,
+                             limits);
+        FAIL() << "quantum = 0 accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("quantum"), std::string::npos)
+            << e.what();
+    }
+}
+
 } // namespace
 } // namespace smtflex

@@ -183,6 +183,104 @@ TEST_F(ResultCacheTest, EscapeKeyIsInvertibleAndOneLine)
     EXPECT_EQ(ResultCache::unescapeKey("iso;mcf;B;b12000"), "iso;mcf;B;b12000");
 }
 
+TEST_F(ResultCacheTest, FormatRecordCarriesCrcTag)
+{
+    const std::string record = ResultCache::formatRecord("k", {1.5, -2.0});
+    ASSERT_FALSE(record.empty());
+    EXPECT_EQ(record.back(), '\n');
+    // `escaped_key|values|cXXXXXXXX`: 'c' + 8 hex digits before the
+    // newline.
+    const std::size_t tag = record.rfind("|c");
+    ASSERT_NE(tag, std::string::npos);
+    EXPECT_EQ(record.size() - tag, 11u); // "|c" + 8 hex + '\n'
+    EXPECT_EQ(record.rfind("k|1.5 -2|", 0), 0u);
+}
+
+TEST_F(ResultCacheTest, CrcMismatchIsSkippedAndCounted)
+{
+    {
+        std::ofstream out(path_);
+        out << ResultCache::kFormatHeader << "\n";
+        out << ResultCache::formatRecord("good", {1.0, 2.0});
+        std::string bad = ResultCache::formatRecord("bad", {3.0});
+        bad[bad.find('3')] = '4'; // flip a value byte; the CRC now lies
+        out << bad;
+        out << ResultCache::formatRecord("tail", {5.0});
+    }
+    ResultCache cache(path_);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.corruptLinesSkipped(), 1u);
+    EXPECT_NE(cache.find("good"), nullptr);
+    EXPECT_EQ(cache.find("bad"), nullptr);
+    EXPECT_NE(cache.find("tail"), nullptr);
+}
+
+TEST_F(ResultCacheTest, StrictFormatRejectsUntaggedLines)
+{
+    // In a v2 file a line without a CRC tag is a truncated record, not a
+    // legacy record — its values may be silently shortened.
+    {
+        std::ofstream out(path_);
+        out << ResultCache::kFormatHeader << "\n";
+        out << "torn|1 2\n";
+        out << ResultCache::formatRecord("ok", {3.0});
+    }
+    ResultCache cache(path_);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.find("torn"), nullptr);
+    EXPECT_EQ(cache.corruptLinesSkipped(), 1u);
+}
+
+TEST_F(ResultCacheTest, NewSegmentsCarryTheFormatHeader)
+{
+    {
+        ResultCache cache(path_);
+        cache.store("k", {1.0});
+    }
+    bool found = false;
+    for (std::size_t i = 0; i < ResultCache::kNumShards; ++i) {
+        std::ostringstream os;
+        os << path_ << ".shard-" << (i < 10 ? "0" : "") << i;
+        std::ifstream in(os.str());
+        std::string first;
+        if (in && std::getline(in, first)) {
+            found = true;
+            EXPECT_EQ(first, ResultCache::kFormatHeader);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(ResultCacheTest, CheckpointCompactsAndStaysAppendable)
+{
+    ResultCache cache(path_);
+    cache.store("k", {1.0});
+    cache.store("k", {2.0});
+    cache.store("k", {3.0}); // three appended records for one key
+    EXPECT_TRUE(cache.checkpoint());
+    // The snapshot holds exactly one record per entry.
+    std::size_t records = 0;
+    for (std::size_t i = 0; i < ResultCache::kNumShards; ++i) {
+        std::ostringstream os;
+        os << path_ << ".shard-" << (i < 10 ? "0" : "") << i;
+        std::ifstream in(os.str());
+        std::string line;
+        while (std::getline(in, line))
+            if (line != ResultCache::kFormatHeader)
+                ++records;
+    }
+    EXPECT_EQ(records, 1u);
+    // Appends after the checkpoint land in the renamed file, not the
+    // replaced inode.
+    cache.store("post", {4.0});
+    ResultCache reloaded(path_);
+    EXPECT_EQ(reloaded.size(), 2u);
+    ASSERT_NE(reloaded.find("k"), nullptr);
+    EXPECT_DOUBLE_EQ(reloaded.find("k")->at(0), 3.0);
+    ASSERT_NE(reloaded.find("post"), nullptr);
+    EXPECT_EQ(reloaded.corruptLinesSkipped(), 0u);
+}
+
 TEST_F(ResultCacheTest, EmptyValueVector)
 {
     {

@@ -104,5 +104,61 @@ TEST(CoreParamsTest, ValidationCatchesNonsense)
     EXPECT_THROW(p.validate(), FatalError);
 }
 
+/** validate() must throw and the message must name @p field. */
+void
+expectRejected(const CoreParams &p, const std::string &field)
+{
+    try {
+        p.validate();
+        FAIL() << "validate() accepted degenerate " << field;
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+            << "error message does not name '" << field << "': " << e.what();
+    }
+}
+
+TEST(CoreParamsTest, ValidationRejectsZeroMulUnits)
+{
+    CoreParams p = CoreParams::big();
+    p.mulUnits = 0;
+    expectRejected(p, "mul");
+}
+
+TEST(CoreParamsTest, ValidationRejectsZeroFpUnits)
+{
+    CoreParams p = CoreParams::big();
+    p.fpUnits = 0;
+    expectRejected(p, "fp");
+}
+
+TEST(CoreParamsTest, ValidationRejectsZeroL1Latency)
+{
+    CoreParams p = CoreParams::big();
+    p.latL1 = 0;
+    expectRejected(p, "latL1");
+}
+
+TEST(CoreParamsTest, ValidationRejectsZeroCacheSize)
+{
+    CoreParams p = CoreParams::big();
+    p.l1d.sizeBytes = 0;
+    expectRejected(p, "l1d.sizeBytes");
+}
+
+TEST(CoreParamsTest, ValidationRejectsZeroCacheAssoc)
+{
+    CoreParams p = CoreParams::big();
+    p.l2.assoc = 0;
+    expectRejected(p, "l2.assoc");
+}
+
+TEST(CoreParamsTest, ValidationRejectsSubSetCache)
+{
+    // 64-byte 16-way cache has fewer lines than one set needs.
+    CoreParams p = CoreParams::big();
+    p.l1i = {64, 16};
+    expectRejected(p, "l1i");
+}
+
 } // namespace
 } // namespace smtflex

@@ -38,7 +38,13 @@ usage()
         "  --budget N        instructions per run request (default 2000)\n"
         "  --warmup N        warmup instructions (default 500)\n"
         "  --deadline-ms N   deadline on simulation requests (default 0)\n"
-        "  --ping-delay-ms N queue pings for N ms instead of inline\n");
+        "  --ping-delay-ms N queue pings for N ms instead of inline\n"
+        "  --chaos MODE      misbehave between requests: disconnect,\n"
+        "                    partial-frame or garbage (default off)\n"
+        "  --chaos-every N   one chaos act per ~N requests (default 3)\n"
+        "  --retries N       reconnect-and-resend attempts per request\n"
+        "                    (default 0 = fail fast; chaos implies 3)\n"
+        "  --op-timeout-ms N bound one send/receive (default 0 = forever)\n");
     return 2;
 }
 
@@ -87,6 +93,15 @@ main(int argc, char **argv)
         options.warmup = num("warmup", options.warmup);
         options.deadlineMs = num("deadline-ms", options.deadlineMs);
         options.pingDelayMs = num("ping-delay-ms", options.pingDelayMs);
+        options.chaos = str("chaos", options.chaos);
+        options.chaosEvery =
+            static_cast<unsigned>(num("chaos-every", options.chaosEvery));
+        // Chaos without retries would abort the whole run on the first
+        // self-inflicted wound; default to a forgiving client.
+        options.retry.maxRetries = static_cast<unsigned>(
+            num("retries", options.chaos.empty() ? 0 : 3));
+        options.retry.opTimeoutMs =
+            num("op-timeout-ms", options.retry.opTimeoutMs);
         if (options.connections == 0 || options.requestsPerConnection == 0)
             fatal("loadgen: --connections and --requests must be > 0");
 
