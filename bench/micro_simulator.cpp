@@ -109,7 +109,8 @@ BENCHMARK(BM_ChipSim20sCycles);
  * items/sec ratio is the fast-forward speedup tracked in BENCH_sim.json.
  */
 void
-runChipSimMcf20s(benchmark::State &state, bool fast_forward)
+runChipSimMcf20s(benchmark::State &state, bool fast_forward,
+                 Cycle sampling_interval = 0)
 {
     const ChipConfig cfg = paperDesign("20s");
     ChipSim chip(cfg);
@@ -121,6 +122,8 @@ runChipSimMcf20s(benchmark::State &state, bool fast_forward)
     for (std::uint32_t i = 0; i < 20; ++i)
         chip.attach(i, 0, &threads[i]);
     chip.setFastForward(fast_forward);
+    if (sampling_interval != 0)
+        chip.enableSampling(sampling_interval, 4096);
     constexpr Cycle kChunk = 4096;
     for (auto _ : state)
         chip.run(kChunk);
@@ -148,6 +151,22 @@ BM_ChipSimStrictMcf20s(benchmark::State &state)
     runChipSimMcf20s(state, false);
 }
 BENCHMARK(BM_ChipSimStrictMcf20s)->Iterations(256);
+
+/**
+ * The telemetry-overhead guard: the same fast-forward run with the metric
+ * registry fully attached AND interval sampling on (one chip.ipc +
+ * chip.active_threads point per 10k cycles, fast-forward jumps clamped to
+ * sample boundaries). The registry itself holds pointer views, so the
+ * only admissible cost is the sampling branch — this variant's items/sec
+ * must stay within noise of BM_ChipSimFastForwardMcf20s (same pinned
+ * iterations, compared per run in BENCH_sim.json).
+ */
+void
+BM_ChipSimSampledMcf20s(benchmark::State &state)
+{
+    runChipSimMcf20s(state, true, 10'000);
+}
+BENCHMARK(BM_ChipSimSampledMcf20s)->Iterations(256);
 
 } // namespace
 

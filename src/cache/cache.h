@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "telemetry/registry.h"
 
 namespace smtflex {
 
@@ -44,6 +45,16 @@ struct CacheStats
     {
         return accesses ? static_cast<double>(misses) / accesses : 0.0;
     }
+
+    /** The telemetry field list — single source of the metric names. */
+    template <typename F>
+    static void forEachCounter(F &&f)
+    {
+        f("accesses", &CacheStats::accesses);
+        f("misses", &CacheStats::misses);
+        f("evictions", &CacheStats::evictions);
+        f("writebacks", &CacheStats::writebacks);
+    }
 };
 
 /** Result of a single cache access. */
@@ -62,7 +73,7 @@ struct CacheAccessResult
 /**
  * A write-back, write-allocate, true-LRU set-associative cache.
  */
-class SetAssocCache
+class SetAssocCache : public telemetry::StatsProvider<CacheStats>
 {
   public:
     SetAssocCache(std::string name, const CacheGeometry &geometry);
@@ -92,11 +103,14 @@ class SetAssocCache
     void invalidateAll();
 
     const CacheGeometry &geometry() const { return geometry_; }
-    const CacheStats &stats() const { return stats_; }
     const std::string &name() const { return name_; }
 
-    /** Reset statistics only (contents keep their state). */
-    void clearStats() { stats_ = CacheStats(); }
+    /** Register this cache's counters under @p prefix (e.g. "llc"). */
+    void registerMetrics(telemetry::MetricRegistry &registry,
+                         const std::string &prefix) const
+    {
+        telemetry::attachCounters(registry, prefix, stats_);
+    }
 
   private:
     struct Line
@@ -115,7 +129,6 @@ class SetAssocCache
     std::uint64_t numSets_;
     std::vector<Line> lines_; // numSets_ x assoc, row-major
     std::uint64_t lruClock_ = 0;
-    CacheStats stats_;
 };
 
 } // namespace smtflex

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "telemetry/registry.h"
 
 namespace smtflex {
 
@@ -47,6 +48,16 @@ struct DramStats
     {
         return reads ? static_cast<double>(totalLatencyCycles) / reads : 0.0;
     }
+
+    /** The telemetry field list — single source of the metric names. */
+    template <typename F>
+    static void forEachCounter(F &&f)
+    {
+        f("reads", &DramStats::reads);
+        f("writes", &DramStats::writes);
+        f("total_latency_cycles", &DramStats::totalLatencyCycles);
+        f("bus_busy_cycles", &DramStats::busBusyCycles);
+    }
 };
 
 /**
@@ -54,7 +65,7 @@ struct DramStats
  * demand line fill; write() accounts a writeback's bank/bus occupancy
  * without a completion dependency (posted writes).
  */
-class DramModel
+class DramModel : public telemetry::StatsProvider<DramStats>
 {
   public:
     explicit DramModel(const DramConfig &config);
@@ -67,8 +78,13 @@ class DramModel
     void write(Cycle now, Addr addr);
 
     const DramConfig &config() const { return config_; }
-    const DramStats &stats() const { return stats_; }
-    void clearStats() { stats_ = DramStats(); }
+
+    /** Register this model's counters under @p prefix (e.g. "dram"). */
+    void registerMetrics(telemetry::MetricRegistry &registry,
+                         const std::string &prefix) const
+    {
+        telemetry::attachCounters(registry, prefix, stats_);
+    }
 
     /** Observed bus utilisation over @p elapsed cycles (0..1). */
     double busUtilisation(Cycle elapsed) const;
@@ -79,7 +95,6 @@ class DramModel
     DramConfig config_;
     std::vector<Cycle> bankFree_;
     Cycle busFree_ = 0;
-    DramStats stats_;
 };
 
 } // namespace smtflex

@@ -1,6 +1,7 @@
 #include "loadgen.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -36,8 +37,8 @@ expandMix(const std::string &mix)
         if (eq == std::string::npos)
             fatal("loadgen: mix entry '", token, "' is not op=weight");
         const std::string op = token.substr(0, eq);
-        if (op != "ping" && op != "stats" && op != "run" && op != "sweep" &&
-            op != "isolated")
+        if (op != "ping" && op != "stats" && op != "metrics" &&
+            op != "run" && op != "sweep" && op != "isolated")
             fatal("loadgen: unknown op '", op, "' in mix");
         const std::uint64_t weight =
             parseU64(token.substr(eq + 1), "mix weight for '" + op + "'");
@@ -226,6 +227,45 @@ runLoadGen(const LoadGenOptions &options)
     if (chaosMode != ChaosMode::kNone && options.chaosEvery == 0)
         fatal("loadgen: chaosEvery must be >= 1");
 
+    // Live monitor: its own connection polling the stats op, one
+    // inform() line per interval. Best-effort — a refused connection or
+    // a dying server just ends the monitoring, never the load.
+    std::atomic<bool> monitorStop{false};
+    std::thread monitor;
+    if (options.statsIntervalMs > 0) {
+        monitor = std::thread([&] {
+            Json statsReq = Json::object();
+            statsReq.set("op", Json::string("stats"));
+            Client client;
+            try {
+                client.connect(options.host, options.port);
+            } catch (const FatalError &) {
+                return;
+            }
+            while (!monitorStop.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(options.statsIntervalMs));
+                if (monitorStop.load(std::memory_order_relaxed))
+                    break;
+                try {
+                    const Json reply = client.call(statsReq);
+                    if (!reply.at("ok").asBool())
+                        continue;
+                    const Json &stats = reply.at("stats");
+                    inform("loadgen: server requests ",
+                           stats.at("requests").asU64(), ", executed ",
+                           stats.at("executed").asU64(), ", cache_hits ",
+                           stats.at("cache_hits").asU64(), ", coalesced ",
+                           stats.at("coalesced").asU64(), ", overloaded ",
+                           stats.at("overloaded").asU64(), ", queue_depth ",
+                           stats.at("queue_depth").asU64());
+                } catch (const FatalError &) {
+                    return;
+                }
+            }
+        });
+    }
+
     const auto started = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     threads.reserve(options.connections);
@@ -254,9 +294,9 @@ runLoadGen(const LoadGenOptions &options)
                         if (options.pingDelayMs)
                             doc.set("delay_ms",
                                     Json::number(options.pingDelayMs));
-                    } else if (op == "stats") {
+                    } else if (op == "stats" || op == "metrics") {
                         doc = Json::object();
-                        doc.set("op", Json::string("stats"));
+                        doc.set("op", Json::string(op));
                     } else {
                         const auto &indices = op == "run" ? runs
                             : op == "sweep"               ? sweeps
@@ -313,6 +353,9 @@ runLoadGen(const LoadGenOptions &options)
     for (auto &thread : threads)
         thread.join();
     const auto finished = std::chrono::steady_clock::now();
+    monitorStop.store(true, std::memory_order_relaxed);
+    if (monitor.joinable())
+        monitor.join();
 
     LoadGenReport report;
     std::vector<double> latencies;

@@ -70,6 +70,14 @@ struct LoadGenOptions
     /** A chaos act fires roughly every chaosEvery requests (>= 1). */
     unsigned chaosEvery = 3;
 
+    /**
+     * Live monitoring: when > 0, a monitor thread on its own connection
+     * polls the server's stats op every statsIntervalMs and inform()s a
+     * one-line snapshot (requests/executed/cache_hits/queue_depth) while
+     * the load runs. 0 = off.
+     */
+    std::uint64_t statsIntervalMs = 0;
+
     /** Client-side robustness knobs applied to every connection. */
     RetryPolicy retry;
 };

@@ -66,6 +66,8 @@ opName(Op op)
         return "ping";
       case Op::kStats:
         return "stats";
+      case Op::kMetrics:
+        return "metrics";
       case Op::kRun:
         return "run";
       case Op::kSweep:
@@ -171,6 +173,8 @@ parseRequest(const Json &doc)
         req.delayMs = fieldU64(doc, "delay_ms", 0);
     } else if (op == "stats") {
         req.op = Op::kStats;
+    } else if (op == "metrics") {
+        req.op = Op::kMetrics;
     } else if (op == "run") {
         req.op = Op::kRun;
         req.run.design = fieldString(doc, "design", req.run.design);
@@ -202,7 +206,7 @@ parseRequest(const Json &doc)
         fatal("request is missing the 'op' member");
     } else {
         fatal("unknown op '", op,
-              "' (expected ping, stats, run, sweep or isolated)");
+              "' (expected ping, stats, metrics, run, sweep or isolated)");
     }
     return req;
 }
@@ -217,6 +221,7 @@ Request::canonicalKey() const
     switch (op) {
       case Op::kPing:
       case Op::kStats:
+      case Op::kMetrics:
         return std::string();
       case Op::kRun: {
         doc.set("op", Json::string("run"));

@@ -15,6 +15,10 @@
  *                                        produced by a worker after the
  *                                        delay, a load-testing aid)
  *   {"op":"stats"}                       server counters snapshot
+ *   {"op":"metrics"}                     full metric-registry dump: a
+ *                                        "metrics" object keyed by dotted
+ *                                        path plus an "exposition" string
+ *                                        of Prometheus-style text
  *   {"op":"run","design":"4B","workload":["mcf","hmmer"],...}
  *   {"op":"sweep","design":"2B4m","het":true,...}
  *   {"op":"isolated","benches":["tonto"]}
@@ -85,7 +89,7 @@ class FrameDecoder
 };
 
 /** Request verbs of the protocol. */
-enum class Op { kPing, kStats, kRun, kSweep, kIsolated };
+enum class Op { kPing, kStats, kMetrics, kRun, kSweep, kIsolated };
 
 /** Printable verb name (as used on the wire). */
 const char *opName(Op op);
@@ -105,8 +109,8 @@ struct Request
     /**
      * Canonical identity of the simulation this request asks for, used
      * for coalescing identical in-flight requests and memoising
-     * responses. Empty for ping/stats, which are never coalesced or
-     * cached. Excludes id/deadline: two requests differing only in
+     * responses. Empty for ping/stats/metrics, which are never coalesced
+     * or cached. Excludes id/deadline: two requests differing only in
      * those fields share one simulation.
      */
     std::string canonicalKey() const;

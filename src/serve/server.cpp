@@ -65,6 +65,36 @@ Server::Server(ServerOptions options)
     const std::size_t capacity =
         options_.queueCapacity ? options_.queueCapacity : 2 * jobs;
     queue_ = std::make_unique<BoundedQueue<Job>>(capacity);
+    registerMetrics();
+}
+
+void
+Server::registerMetrics()
+{
+    // The metric names under serve.* are exactly the stats op's JSON keys;
+    // statsBody() is a subtree walk, so renaming one here renames it on
+    // the wire.
+    telemetry::attachCounters(registry_, "serve", stats_);
+    registry_.gauge("serve.queue_depth",
+                    [this] { return std::uint64_t{queue_->size()}; });
+    registry_.gauge("serve.queue_capacity",
+                    [this] { return std::uint64_t{queue_->capacity()}; });
+    registry_.gauge("serve.in_flight",
+                    [this] { return std::uint64_t{inFlight_.size()}; });
+    registry_.gauge("serve.jobs", [] {
+        return std::uint64_t{exec::ThreadPool::global().concurrency()};
+    });
+    registry_.gauge("serve.response_cache_entries",
+                    [this] { return std::uint64_t{responses_.size()}; });
+    registry_.gauge("serve.result_cache_entries", [this] {
+        return std::uint64_t{engine_.resultCache().size()};
+    });
+    registry_.info("serve.result_cache_path",
+                   [this] { return engine_.resultCache().path(); });
+    registry_.gauge("serve.result_cache_corrupt_lines", [this] {
+        return engine_.resultCache().corruptLinesSkipped();
+    });
+    registry_.gaugeBool("serve.draining", [this] { return draining_; });
 }
 
 Server::~Server()
@@ -410,6 +440,10 @@ Server::processPayload(Connection &conn, const std::string &payload)
         sendBody(conn, statsBody(), request.id);
         return;
     }
+    if (request.op == Op::kMetrics) {
+        sendBody(conn, metricsBody(), request.id);
+        return;
+    }
     if (request.op == Op::kPing && request.delayMs == 0) {
         Json body = makeResponse(Op::kPing);
         body.set("pong", Json::boolean(true));
@@ -470,40 +504,55 @@ Server::admit(Connection &conn, Request request)
     inFlight_.emplace(std::move(key), std::vector<Waiter>{waiter});
 }
 
+namespace {
+
+Json
+jsonFromMetric(const telemetry::MetricValue &value)
+{
+    switch (value.type()) {
+      case telemetry::MetricValue::Type::kU64:
+        return Json::number(value.asU64());
+      case telemetry::MetricValue::Type::kDouble:
+        return Json::number(value.asDouble());
+      case telemetry::MetricValue::Type::kBool:
+        return Json::boolean(value.asBool());
+      case telemetry::MetricValue::Type::kString:
+        return Json::string(value.asString());
+    }
+    return Json::number(std::uint64_t{0});
+}
+
+} // namespace
+
 Json
 Server::statsBody() const
 {
+    // A walk over the serve.* subtree with the prefix stripped: the JSON
+    // keys are the registered metric names, and Json objects render in
+    // sorted key order, so the body is byte-identical to the
+    // pre-telemetry hand-marshalled one.
     Json body = makeResponse(Op::kStats);
     Json stats = Json::object();
-    stats.set("connections", Json::number(stats_.connectionsAccepted.load()));
-    stats.set("requests", Json::number(stats_.requestsReceived.load()));
-    stats.set("responses", Json::number(stats_.responsesSent.load()));
-    stats.set("cache_hits", Json::number(stats_.cacheHits.load()));
-    stats.set("coalesced", Json::number(stats_.coalesced.load()));
-    stats.set("overloaded", Json::number(stats_.overloaded.load()));
-    stats.set("deadline_expired",
-              Json::number(stats_.deadlineExpired.load()));
-    stats.set("bad_requests", Json::number(stats_.badRequests.load()));
-    stats.set("shutdown_rejected",
-              Json::number(stats_.shutdownRejected.load()));
-    stats.set("executed", Json::number(stats_.executed.load()));
-    stats.set("queue_depth", Json::number(std::uint64_t{queue_->size()}));
-    stats.set("queue_capacity",
-              Json::number(std::uint64_t{queue_->capacity()}));
-    stats.set("in_flight", Json::number(std::uint64_t{inFlight_.size()}));
-    stats.set("jobs",
-              Json::number(std::uint64_t{
-                  exec::ThreadPool::global().concurrency()}));
-    stats.set("response_cache_entries",
-              Json::number(std::uint64_t{responses_.size()}));
-    stats.set("result_cache_entries",
-              Json::number(std::uint64_t{engine_.resultCache().size()}));
-    stats.set("result_cache_path",
-              Json::string(engine_.resultCache().path()));
-    stats.set("result_cache_corrupt_lines",
-              Json::number(engine_.resultCache().corruptLinesSkipped()));
-    stats.set("draining", Json::boolean(draining_));
+    registry_.forEachInSubtree(
+        "serve", [&](const std::string &name, telemetry::MetricKind,
+                     const telemetry::MetricValue &value) {
+            stats.set(name, jsonFromMetric(value));
+        });
     body.set("stats", std::move(stats));
+    return body;
+}
+
+Json
+Server::metricsBody() const
+{
+    Json body = makeResponse(Op::kMetrics);
+    Json metrics = Json::object();
+    registry_.forEach([&](const std::string &path, telemetry::MetricKind,
+                          const telemetry::MetricValue &value) {
+        metrics.set(path, jsonFromMetric(value));
+    });
+    body.set("metrics", std::move(metrics));
+    body.set("exposition", Json::string(registry_.exposition()));
     return body;
 }
 
@@ -579,7 +628,8 @@ Server::updateEpoll(Connection &conn)
 {
     epoll_event ev;
     std::memset(&ev, 0, sizeof(ev));
-    ev.events = EPOLLIN | (conn.wantWrite ? EPOLLOUT : 0);
+    ev.events =
+        EPOLLIN | (conn.wantWrite ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
     ev.data.u64 = conn.id;
     ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
@@ -676,6 +726,9 @@ Server::executeJob(const Job &job)
             break;
           case Op::kStats:
             body = statsBody(); // unreachable: stats is inline
+            break;
+          case Op::kMetrics:
+            body = metricsBody(); // unreachable: metrics is inline
             break;
         }
         stats_.executed.fetch_add(1);

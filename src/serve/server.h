@@ -11,7 +11,8 @@
  * a wake pipe.
  *
  * Admission policy, in order:
- *   1. ping (undelayed) and stats are answered inline on the I/O thread;
+ *   1. ping (undelayed), stats and metrics are answered inline on the
+ *      I/O thread;
  *   2. a memoised response (ResponseCache, canonical request key) is
  *      answered inline — a cache hit;
  *   3. a request whose key is already in flight attaches itself as a
@@ -52,6 +53,7 @@
 #include "serve/request_queue.h"
 #include "serve/response_cache.h"
 #include "study/study_engine.h"
+#include "telemetry/registry.h"
 
 namespace smtflex {
 namespace serve {
@@ -94,6 +96,23 @@ struct ServerStats
     std::atomic<std::uint64_t> badRequests{0};
     std::atomic<std::uint64_t> shutdownRejected{0};
     std::atomic<std::uint64_t> executed{0};
+
+    /** The telemetry field list. The names are the `stats` op's JSON keys
+     * (wire compatibility: the stats body is a walk over these). */
+    template <typename F>
+    static void forEachCounter(F &&f)
+    {
+        f("connections", &ServerStats::connectionsAccepted);
+        f("requests", &ServerStats::requestsReceived);
+        f("responses", &ServerStats::responsesSent);
+        f("cache_hits", &ServerStats::cacheHits);
+        f("coalesced", &ServerStats::coalesced);
+        f("overloaded", &ServerStats::overloaded);
+        f("deadline_expired", &ServerStats::deadlineExpired);
+        f("bad_requests", &ServerStats::badRequests);
+        f("shutdown_rejected", &ServerStats::shutdownRejected);
+        f("executed", &ServerStats::executed);
+    }
 };
 
 class Server
@@ -192,12 +211,22 @@ class Server
     Completion executeJob(const Job &job);
     void postCompletion(Completion completion);
 
+    /** Register every serve.* metric (ctor helper): the ServerStats
+     * atomics as counters, the queue/cache/drain figures as gauges. */
+    void registerMetrics();
+
     Json statsBody() const;
+    Json metricsBody() const;
 
     ServerOptions options_;
     StudyEngine engine_;
     ResponseCache responses_;
     ServerStats stats_;
+    /** The serve.* metric spine: the stats/metrics ops are walks over it.
+     * Counter cells are atomics (bumped from both threads); the gauge
+     * lambdas touch I/O-thread-owned state, so walks run on the I/O
+     * thread only — exactly where statsBody always ran. */
+    telemetry::MetricRegistry registry_;
 
     int listenFd_ = -1;
     int epollFd_ = -1;

@@ -37,6 +37,67 @@ ChipSim::ChipSim(const ChipConfig &config)
     for (std::uint32_t i = 0; i < config_.numCores(); ++i)
         awakeMask_[i / 64] |= std::uint64_t{1} << (i % 64);
     fastForward_ = !envFlag("SMTFLEX_NO_FASTFWD", false);
+    registerChipMetrics();
+}
+
+void
+ChipSim::registerChipMetrics()
+{
+    // Everything the registry views lives in members assigned exactly once
+    // above (cores_ holds stable unique_ptrs; poweredCycles_ never
+    // reallocates), so the pointers stay valid for the chip's lifetime.
+    registry_.info("chip.config", [this] { return config_.name; });
+    registry_.counter("chip.cycles", &now_);
+    registry_.gaugeReal("chip.freq_ghz",
+                        [this] { return config_.chipFreqGHz; });
+    registry_.gaugeBool("chip.hit_cycle_limit",
+                        [this] { return hitCycleLimit_; });
+    telemetry::attachHistogram(
+        registry_, "chip.active_threads", activeHistogram_.numBuckets(),
+        [this](std::size_t k) { return activeHistogram_.fraction(k); });
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const std::string prefix = "core." + std::to_string(i);
+        cores_[i]->registerMetrics(registry_, prefix);
+        registry_.counter(prefix + ".powered_cycles", &poweredCycles_[i]);
+    }
+    shared_.registerMetrics(registry_);
+}
+
+void
+ChipSim::enableSampling(Cycle interval, std::size_t max_points)
+{
+    if (interval == 0)
+        fatal("ChipSim: sampling interval must be > 0");
+    samplingInterval_ = interval;
+    nextSample_ = now_ + interval;
+    lastSampleCycle_ = now_;
+    std::uint64_t retired = 0;
+    for (const auto &core : cores_)
+        retired += core->stats().retired;
+    lastSampleRetired_ = retired;
+    ipcSeries_ = &registry_.series("chip.ipc", max_points);
+    activeSeries_ = &registry_.series("chip.active_threads", max_points);
+}
+
+void
+ChipSim::maybeSample()
+{
+    // Retired counts are strict even while cores sleep: retirement only
+    // happens inside tick(), so a sleeping (provably inert) core's counter
+    // is already exact — no wake needed to read it.
+    std::uint64_t retired = 0;
+    for (const auto &core : cores_)
+        retired += core->stats().retired;
+    const Cycle elapsed = now_ - lastSampleCycle_;
+    const double ipc = elapsed
+        ? static_cast<double>(retired - lastSampleRetired_) /
+            static_cast<double>(elapsed)
+        : 0.0;
+    ipcSeries_->append(now_, ipc);
+    activeSeries_->append(now_, static_cast<double>(attachedThreads_));
+    lastSampleCycle_ = now_;
+    lastSampleRetired_ = retired;
+    nextSample_ = now_ + samplingInterval_;
 }
 
 void
@@ -71,6 +132,8 @@ ChipSim::tick()
             core.tick(now_);
     }
     activeHistogram_.add(attachedThreads_, 1.0);
+    if (samplingInterval_ != 0 && now_ >= nextSample_)
+        maybeSample();
 }
 
 Cycle
@@ -164,11 +227,18 @@ ChipSim::stepCores()
         }
     }
     activeHistogram_.add(attachedThreads_, 1.0);
+    if (samplingInterval_ != 0 && now_ >= nextSample_)
+        maybeSample();
 }
 
 void
 ChipSim::jumpIdleSpan(Cycle bound)
 {
+    // A sample must be taken at exactly its boundary cycle, so a jump may
+    // not pass one. (Landing on the boundary is fine: no core was awake,
+    // so the sampled counters cannot differ from the strict loop's.)
+    if (samplingInterval_ != 0)
+        bound = std::min(bound, nextSample_);
     // Jump only when every core is asleep or parked — checked against
     // the *current* state, after any rotation/attach woke cores.
     for (const std::uint64_t word : awakeMask_)
@@ -195,6 +265,8 @@ ChipSim::jumpIdleSpan(Cycle bound)
         activeHistogram_.add(attachedThreads_,
                              static_cast<double>(target - now_));
         now_ = target;
+        if (samplingInterval_ != 0 && now_ >= nextSample_)
+            maybeSample();
     }
 }
 
@@ -450,7 +522,40 @@ ChipSim::collectResult() const
     result.activeThreadFractions.resize(activeHistogram_.numBuckets());
     for (std::size_t k = 0; k < activeHistogram_.numBuckets(); ++k)
         result.activeThreadFractions[k] = activeHistogram_.fraction(k);
+    result.metrics = registry_.snapshot();
     return result;
+}
+
+telemetry::Snapshot
+rebuildResultMetrics(const SimResult &result)
+{
+    telemetry::MetricRegistry reg;
+    reg.info("chip.config", [&result] { return result.configName; });
+    reg.counter("chip.cycles", &result.cycles);
+    reg.gaugeReal("chip.freq_ghz", [&result] { return result.chipFreqGHz; });
+    reg.gaugeBool("chip.hit_cycle_limit",
+                  [&result] { return result.hitCycleLimit; });
+    telemetry::attachHistogram(
+        reg, "chip.active_threads", result.activeThreadFractions.size(),
+        [&result](std::size_t k) { return result.activeThreadFractions[k]; });
+    for (std::size_t i = 0; i < result.cores.size(); ++i) {
+        const std::string prefix = "core." + std::to_string(i);
+        const CoreResult &cr = result.cores[i];
+        telemetry::attachCounters(reg, prefix, cr.stats);
+        for (int c = 0; c < kNumOpClasses; ++c) {
+            reg.counter(prefix + ".dispatch." +
+                            opClassMetricName(static_cast<OpClass>(c)),
+                        &cr.stats.dispatched[c]);
+        }
+        telemetry::attachCounters(reg, prefix + ".l1i", cr.l1i);
+        telemetry::attachCounters(reg, prefix + ".l1d", cr.l1d);
+        telemetry::attachCounters(reg, prefix + ".l2", cr.l2);
+        reg.counter(prefix + ".powered_cycles", &cr.poweredCycles);
+    }
+    telemetry::attachCounters(reg, "llc", result.llc);
+    telemetry::attachCounters(reg, "dram", result.dram);
+    telemetry::attachCounters(reg, "xbar", result.xbar);
+    return reg.snapshot();
 }
 
 } // namespace smtflex

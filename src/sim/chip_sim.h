@@ -19,6 +19,7 @@
 
 #include "common/stats.h"
 #include "sim/chip_config.h"
+#include "telemetry/registry.h"
 #include "sim/shared_memory.h"
 #include "sim/sim_thread.h"
 #include "uarch/core.h"
@@ -89,6 +90,14 @@ struct SimResult
     /** Fraction of time with k attached threads, k = 0..totalContexts. */
     std::vector<double> activeThreadFractions;
 
+    /**
+     * The run's readings by metric path (the chip registry's snapshot).
+     * Reports render from this; for hand-built results it may be empty —
+     * rebuildResultMetrics() reconstructs the identical snapshot from the
+     * structs above.
+     */
+    telemetry::Snapshot metrics;
+
     /** Seconds of simulated wall-clock time. */
     double seconds() const
     {
@@ -98,6 +107,15 @@ struct SimResult
     /** Sum of per-thread IPCs (throughput in instructions/cycle). */
     double aggregateIpc() const;
 };
+
+/**
+ * Rebuild the metric snapshot of @p result from its structs, on the same
+ * path schema the live chip registry uses (`core.<i>.*`, `llc.*`, `dram.*`,
+ * `xbar.*`, `chip.*`). For a ChipSim-collected result this reproduces
+ * result.metrics value-for-value; for hand-built results it is the way to
+ * get one.
+ */
+telemetry::Snapshot rebuildResultMetrics(const SimResult &result);
 
 /** Safety limits of a run. */
 struct RunLimits
@@ -129,6 +147,30 @@ class ChipSim
     Core &core(std::uint32_t i) { return *cores_.at(i); }
     const Core &core(std::uint32_t i) const { return *cores_.at(i); }
     SharedMemory &sharedMemory() { return shared_; }
+
+    /**
+     * The chip's metric registry: every component counter registered at
+     * construction under the `core.<i>.*` / `llc.*` / `dram.*` / `xbar.*`
+     * / `chip.*` path schema (DESIGN.md §12). Reading is only meaningful
+     * between run()/tick() calls (wakeAllCores() has settled deferred
+     * fast-forward accounting).
+     */
+    const telemetry::MetricRegistry &metrics() const { return registry_; }
+    telemetry::MetricRegistry &metrics() { return registry_; }
+
+    /**
+     * Turn on interval time-series sampling: every @p interval global
+     * cycles, append one point to the `chip.ipc` series (chip-wide retired
+     * ops per cycle over the interval) and one to `chip.active_threads`
+     * (attached threads at the sample cycle). Off by default — when off,
+     * the run loops are exactly the pre-telemetry loops. Sampling clamps
+     * fast-forward jumps to sample boundaries, so sampled runs remain
+     * bit-identical to strict (non-fast-forward) sampled runs.
+     *
+     * @param max_points ring capacity per series (0 = unbounded).
+     */
+    void enableSampling(Cycle interval, std::size_t max_points = 0);
+    bool samplingEnabled() const { return samplingInterval_ != 0; }
 
     /** Attach/detach with central active-thread bookkeeping. */
     void attach(std::uint32_t core, std::uint32_t slot, ThreadSource *t);
@@ -234,6 +276,13 @@ class ChipSim
      * chip is always in a strict-equivalent state between calls. */
     void wakeAllCores();
 
+    /** Register every chip-level and component metric (ctor helper). */
+    void registerChipMetrics();
+
+    /** Record due time-series samples (called with now_ at or past the
+     * next sample boundary; a no-op branch when sampling is off). */
+    void maybeSample();
+
     ChipConfig config_;
     SharedMemory shared_;
     std::vector<std::unique_ptr<Core>> cores_;
@@ -265,6 +314,17 @@ class ChipSim
         wakeHeap_;
     Cycle ffCycles_ = 0;
     std::uint64_t ffSpans_ = 0;
+
+    /** The telemetry spine. Declared after the components it views so the
+     * views never outlive their cells. */
+    telemetry::MetricRegistry registry_;
+    /** Interval sampling state (0 interval = off). */
+    Cycle samplingInterval_ = 0;
+    Cycle nextSample_ = 0;
+    Cycle lastSampleCycle_ = 0;
+    std::uint64_t lastSampleRetired_ = 0;
+    telemetry::Series *ipcSeries_ = nullptr;
+    telemetry::Series *activeSeries_ = nullptr;
 };
 
 } // namespace smtflex

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Value types of the smtflex::telemetry metric spine.
+ *
+ * A metric reading is a small tagged value: the simulator's counters are
+ * plain uint64_t cells, serve's counters are atomics, derived figures are
+ * doubles, and a handful of exposition-only entries are booleans or
+ * strings (a cache path, a draining flag). Keeping the tag explicit lets
+ * the consumers (JSON stats bodies, CSV walks, Prometheus exposition)
+ * render each reading exactly as the pre-telemetry hand-marshalled code
+ * did — byte-identical output is part of the registry's contract.
+ */
+
+#ifndef SMTFLEX_TELEMETRY_METRIC_H
+#define SMTFLEX_TELEMETRY_METRIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smtflex {
+namespace telemetry {
+
+/** What a metric means (drives the Prometheus exposition TYPE line). */
+enum class MetricKind : std::uint8_t
+{
+    /** Monotonically increasing count (events since construction). */
+    kCounter,
+    /** Point-in-time level that can go up and down (queue depth). */
+    kGauge,
+    /** Non-numeric annotation (a path, a flag) for exposition only. */
+    kInfo,
+};
+
+/** One typed metric reading. */
+class MetricValue
+{
+  public:
+    enum class Type : std::uint8_t { kU64, kDouble, kBool, kString };
+
+    MetricValue() = default;
+
+    static MetricValue u64(std::uint64_t v)
+    {
+        MetricValue out;
+        out.type_ = Type::kU64;
+        out.u64_ = v;
+        return out;
+    }
+    static MetricValue real(double v)
+    {
+        MetricValue out;
+        out.type_ = Type::kDouble;
+        out.double_ = v;
+        return out;
+    }
+    static MetricValue boolean(bool v)
+    {
+        MetricValue out;
+        out.type_ = Type::kBool;
+        out.bool_ = v;
+        return out;
+    }
+    static MetricValue string(std::string v)
+    {
+        MetricValue out;
+        out.type_ = Type::kString;
+        out.string_ = std::move(v);
+        return out;
+    }
+
+    Type type() const { return type_; }
+    bool isU64() const { return type_ == Type::kU64; }
+    bool isDouble() const { return type_ == Type::kDouble; }
+    bool isBool() const { return type_ == Type::kBool; }
+    bool isString() const { return type_ == Type::kString; }
+
+    /** Typed reads; fatal() on a type mismatch (registry consumers name
+     * the offending path in their own message). */
+    std::uint64_t asU64() const;
+    double asDouble() const;
+    bool asBool() const;
+    const std::string &asString() const;
+
+    /** Numeric reading as a double (u64 widened, bool as 0/1); fatal()
+     * for strings. */
+    double numeric() const;
+
+    bool operator==(const MetricValue &other) const;
+
+  private:
+    Type type_ = Type::kU64;
+    std::uint64_t u64_ = 0;
+    double double_ = 0.0;
+    bool bool_ = false;
+    std::string string_;
+};
+
+/**
+ * An append-only time series of (x, value) points sampled at a fixed
+ * interval — the registry's handle for paper-style time-axis data
+ * (per-interval IPC, active threads per N cycles). The x axis is
+ * whatever the producer samples on (global cycles for the chip).
+ */
+class Series
+{
+  public:
+    struct Point
+    {
+        std::uint64_t x = 0;
+        double value = 0.0;
+    };
+
+    /** @param max_points 0 = unbounded; otherwise the oldest points are
+     * dropped once the cap is reached (live-monitoring ring). */
+    explicit Series(std::size_t max_points = 0) : maxPoints_(max_points) {}
+
+    void append(std::uint64_t x, double value);
+
+    const std::vector<Point> &points() const { return points_; }
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    void clear() { points_.clear(); }
+
+    /** Most recent value (0 when empty — exposition convenience). */
+    double last() const { return points_.empty() ? 0.0 : points_.back().value; }
+
+  private:
+    std::size_t maxPoints_;
+    std::vector<Point> points_;
+};
+
+} // namespace telemetry
+} // namespace smtflex
+
+#endif // SMTFLEX_TELEMETRY_METRIC_H

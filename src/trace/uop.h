@@ -26,6 +26,28 @@ enum class OpClass : std::uint8_t {
 /** Number of distinct OpClass values. */
 inline constexpr int kNumOpClasses = 6;
 
+/** Lower-case name of an op class, usable as a metric-path segment
+ * (`core.0.dispatch.int_alu`). */
+inline const char *
+opClassMetricName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::kIntAlu:
+        return "int_alu";
+      case OpClass::kIntMul:
+        return "int_mul";
+      case OpClass::kFpOp:
+        return "fp";
+      case OpClass::kLoad:
+        return "load";
+      case OpClass::kStore:
+        return "store";
+      case OpClass::kBranch:
+        return "branch";
+    }
+    return "unknown";
+}
+
 /**
  * One dynamic micro-operation.
  *

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "telemetry/registry.h"
 #include "trace/uop.h"
 #include "uarch/core_params.h"
 #include "uarch/private_hierarchy.h"
@@ -46,6 +47,19 @@ struct CoreStats
             sum += d;
         return sum;
     }
+
+    /** The telemetry field list for the scalar counters — the dispatched[]
+     * array registers separately under `dispatch.<op_class>`. */
+    template <typename F>
+    static void forEachCounter(F &&f)
+    {
+        f("core_cycles", &CoreStats::coreCycles);
+        f("busy_cycles", &CoreStats::busyCycles);
+        f("retired", &CoreStats::retired);
+        f("mispredicts", &CoreStats::mispredicts);
+        f("rob_stall_events", &CoreStats::robStallEvents);
+        f("mshr_stall_events", &CoreStats::mshrStallEvents);
+    }
 };
 
 /**
@@ -55,7 +69,7 @@ struct CoreStats
  * different frequency (Section 8.1 "hf" variants). tick() is called once per
  * global cycle and internally advances zero or more core cycles.
  */
-class Core
+class Core : public telemetry::StatsProvider<CoreStats>
 {
   public:
     /**
@@ -128,7 +142,25 @@ class Core
      */
     void skipTicks(Cycle count);
 
-    const CoreStats &stats() const { return stats_; }
+    /**
+     * Register the core's counters and its private hierarchy under
+     * @p prefix (e.g. "core.3"): the CoreStats scalars, one
+     * `dispatch.<op_class>` counter per OpClass, and the l1i/l1d/l2
+     * cache counters.
+     */
+    void registerMetrics(telemetry::MetricRegistry &registry,
+                         const std::string &prefix) const
+    {
+        telemetry::attachCounters(registry, prefix, stats_);
+        for (int c = 0; c < kNumOpClasses; ++c)
+            registry.counter(prefix + ".dispatch." +
+                                 opClassMetricName(static_cast<OpClass>(c)),
+                             &stats_.dispatched[c]);
+        hierarchy_.l1i().registerMetrics(registry, prefix + ".l1i");
+        hierarchy_.l1d().registerMetrics(registry, prefix + ".l1d");
+        hierarchy_.l2().registerMetrics(registry, prefix + ".l2");
+    }
+
     PrivateHierarchy &hierarchy() { return hierarchy_; }
     const PrivateHierarchy &hierarchy() const { return hierarchy_; }
 
@@ -234,8 +266,6 @@ class Core
     /** Round-robin rotors. */
     std::uint32_t fetchRotor_ = 0;
     std::uint32_t retireRotor_ = 0;
-
-    CoreStats stats_;
 };
 
 /** Construct the matching model (OooCore or InOrderCore) for @p params. */

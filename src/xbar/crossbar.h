@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "telemetry/registry.h"
 
 namespace smtflex {
 
@@ -41,6 +42,14 @@ struct CrossbarStats
         return requests ? static_cast<double>(totalQueueCycles) / requests
                         : 0.0;
     }
+
+    /** The telemetry field list — single source of the metric names. */
+    template <typename F>
+    static void forEachCounter(F &&f)
+    {
+        f("requests", &CrossbarStats::requests);
+        f("total_queue_cycles", &CrossbarStats::totalQueueCycles);
+    }
 };
 
 /**
@@ -50,7 +59,7 @@ struct CrossbarStats
  * (after traversal + any bank queueing) and reserves the bank; the response
  * hop back is accounted by the caller via responseLatency().
  */
-class Crossbar
+class Crossbar : public telemetry::StatsProvider<CrossbarStats>
 {
   public:
     explicit Crossbar(const CrossbarConfig &config);
@@ -65,14 +74,18 @@ class Crossbar
     std::uint32_t responseLatency() const { return config_.hopLatency; }
 
     const CrossbarConfig &config() const { return config_; }
-    const CrossbarStats &stats() const { return stats_; }
-    void clearStats() { stats_ = CrossbarStats(); }
+
+    /** Register this crossbar's counters under @p prefix (e.g. "xbar"). */
+    void registerMetrics(telemetry::MetricRegistry &registry,
+                         const std::string &prefix) const
+    {
+        telemetry::attachCounters(registry, prefix, stats_);
+    }
 
   private:
     CrossbarConfig config_;
     /** Next free cycle per LLC bank. */
     std::vector<Cycle> bankFree_;
-    CrossbarStats stats_;
 };
 
 } // namespace smtflex

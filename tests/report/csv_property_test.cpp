@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Property-style tests of CsvWriter::escape: any field — embedded quotes,
+ * commas, newlines, carriage returns, leading/trailing spaces — must
+ * round-trip bit-exactly through an RFC 4180 parser, both as a lone field
+ * and inside full rows written by CsvWriter. The random cases draw from
+ * the deterministic Rng so failures reproduce.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "report/csv.h"
+
+namespace smtflex {
+namespace {
+
+/**
+ * Minimal RFC 4180 reference parser: rows of fields, comma-separated,
+ * "\n" row terminator, quoted fields may contain commas, newlines and
+ * doubled quotes. Spaces are field content (never trimmed).
+ */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        if (c == '"' && !field_started && field.empty()) {
+            in_quotes = true;
+            field_started = true;
+        } else if (c == ',') {
+            row.push_back(field);
+            field.clear();
+            field_started = false;
+        } else if (c == '\n') {
+            row.push_back(field);
+            rows.push_back(row);
+            row.clear();
+            field.clear();
+            field_started = false;
+        } else {
+            field += c;
+            field_started = true;
+        }
+    }
+    EXPECT_FALSE(in_quotes) << "unterminated quoted field";
+    if (field_started || !field.empty() || !row.empty()) {
+        row.push_back(field);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+/** escape() then parse back as a one-field row. */
+std::string
+roundTrip(const std::string &field)
+{
+    const auto rows = parseCsv(CsvWriter::escape(field) + "\n");
+    EXPECT_EQ(rows.size(), 1u) << "field split into rows: " << field;
+    if (rows.size() != 1 || rows[0].size() != 1)
+        return "<parse error>";
+    return rows[0][0];
+}
+
+TEST(CsvEscapePropertyTest, EdgeCasesRoundTrip)
+{
+    const std::vector<std::string> cases = {
+        "",
+        "plain",
+        "has,comma",
+        "has\"quote",
+        "\"",
+        "\"\"",
+        "\"quoted\"",
+        "ends with quote\"",
+        "\"starts with quote",
+        "new\nline",
+        "carriage\rreturn",
+        "\r\n",
+        "both\r\nkinds",
+        " leading space",
+        "trailing space ",
+        "  ",
+        " , mixed \" everything \r\n here ,",
+        "semicolons;and|pipes",
+        "trailing comma,",
+        ",leading comma",
+        ",,,",
+    };
+    for (const std::string &field : cases)
+        EXPECT_EQ(roundTrip(field), field)
+            << "escaped form: " << CsvWriter::escape(field);
+}
+
+TEST(CsvEscapePropertyTest, QuotingIsMinimal)
+{
+    // Fields without a delimiter, quote or line break pass through
+    // verbatim — including ones with spaces (RFC 4180 keeps spaces).
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape(" padded "), " padded ");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+    // Fields that need quoting double their quotes.
+    EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\"");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+    EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvEscapePropertyTest, RandomFieldsRoundTrip)
+{
+    // Characters weighted towards the troublesome ones.
+    static const char kAlphabet[] = {'a', 'b', 'z', '0', ',', '"',  '\n',
+                                     '\r', ' ', ' ', ';', '|', '\t', '.'};
+    Rng rng(20'260'806, 0);
+    for (int iteration = 0; iteration < 2'000; ++iteration) {
+        const std::size_t length = rng.nextRange(24);
+        std::string field;
+        for (std::size_t i = 0; i < length; ++i)
+            field += kAlphabet[rng.nextRange(sizeof(kAlphabet))];
+        EXPECT_EQ(roundTrip(field), field)
+            << "iteration " << iteration
+            << " escaped form: " << CsvWriter::escape(field);
+    }
+}
+
+TEST(CsvEscapePropertyTest, FullRowsRoundTripThroughWriter)
+{
+    static const char kAlphabet[] = {'x', ',', '"', '\n', '\r', ' ', '7'};
+    Rng rng(7, 1);
+    const std::vector<std::string> header = {"name", "value,with,commas",
+                                             "not\nes"};
+    std::vector<std::vector<std::string>> written;
+    std::ostringstream os;
+    CsvWriter writer(os, header);
+    for (int r = 0; r < 50; ++r) {
+        std::vector<std::string> row;
+        for (std::size_t c = 0; c < header.size(); ++c) {
+            const std::size_t length = rng.nextRange(12);
+            std::string field;
+            for (std::size_t i = 0; i < length; ++i)
+                field += kAlphabet[rng.nextRange(sizeof(kAlphabet))];
+            row.push_back(field);
+        }
+        writer.row(row);
+        written.push_back(row);
+    }
+
+    const auto rows = parseCsv(os.str());
+    ASSERT_EQ(rows.size(), written.size() + 1); // + header
+    EXPECT_EQ(rows[0], header);
+    for (std::size_t r = 0; r < written.size(); ++r)
+        EXPECT_EQ(rows[r + 1], written[r]) << "row " << r;
+}
+
+} // namespace
+} // namespace smtflex

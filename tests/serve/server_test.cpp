@@ -133,6 +133,52 @@ TEST(ServerTest, InlinePingAndStats)
     EXPECT_FALSE(stats.at("stats").at("draining").asBool());
 }
 
+TEST(ServerTest, MetricsOpExposesTheRegistry)
+{
+    ServerOptions options;
+    options.study = fastStudy();
+    TestServer ts(options);
+
+    Client client;
+    client.connect("127.0.0.1", ts.port());
+
+    Json metricsReq = Json::object();
+    metricsReq.set("op", Json::string("metrics"));
+    metricsReq.set("id", Json::number(std::uint64_t{9}));
+    const Json reply = client.call(metricsReq);
+    ASSERT_TRUE(reply.at("ok").asBool());
+    EXPECT_EQ(reply.at("op").asString(), "metrics");
+    EXPECT_EQ(reply.at("id").asU64(), 9u);
+
+    // Full dotted paths, including the connection that sent the request.
+    const Json &metrics = reply.at("metrics");
+    EXPECT_GE(metrics.at("serve.requests").asU64(), 1u);
+    EXPECT_EQ(metrics.at("serve.connections").asU64(), 1u);
+    EXPECT_TRUE(metrics.has("serve.queue_depth"));
+    EXPECT_TRUE(metrics.has("serve.jobs"));
+
+    // The stats body is exactly the serve.* subtree: same keys, and the
+    // counters can only have grown between the two inline reads.
+    Json statsReq = Json::object();
+    statsReq.set("op", Json::string("stats"));
+    const Json stats = client.call(statsReq);
+    ASSERT_TRUE(stats.at("ok").asBool());
+    for (const auto &[key, value] : stats.at("stats").members()) {
+        ASSERT_TRUE(metrics.has("serve." + key)) << key;
+        if (key == "requests" || key == "responses") {
+            EXPECT_GE(value.asU64(), metrics.at("serve." + key).asU64())
+                << key;
+        }
+    }
+
+    // Prometheus exposition rides along for scrapers.
+    const std::string &exposition = reply.at("exposition").asString();
+    EXPECT_NE(exposition.find("# TYPE smtflex_serve_requests counter"),
+              std::string::npos);
+    EXPECT_NE(exposition.find("smtflex_serve_draining 0"),
+              std::string::npos);
+}
+
 TEST(ServerTest, MalformedJsonGetsBadRequestReply)
 {
     ServerOptions options;

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests of the chip simulator's telemetry spine: the live registry
+ * snapshot collected into SimResult must equal the snapshot rebuilt from
+ * the result structs (same paths, same values — the registry views point
+ * at those very structs); Core's clearStats() must reset every counter
+ * including the private hierarchy's; and interval sampling must populate
+ * the chip.ipc / chip.active_threads series without perturbing the run —
+ * sampled fast-forward results stay bit-identical to strict ones.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/chip_sim.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+namespace {
+
+SimResult
+runWorkload(ChipSim &chip, const std::vector<const char *> &benches,
+            const Placement &placement)
+{
+    std::vector<ThreadSpec> specs;
+    specs.reserve(benches.size());
+    for (const char *bench : benches)
+        specs.push_back({&specProfile(bench), 12'000, 3'000});
+    return chip.runMultiProgram(specs, placement, 42);
+}
+
+TEST(ChipTelemetryTest, LiveSnapshotMatchesRebuiltSnapshot)
+{
+    const ChipConfig cfg =
+        ChipConfig::homogeneous("2B", CoreParams::big(), 2);
+    Placement pl;
+    pl.entries = {{0, 0}, {0, 1}, {1, 0}};
+    ChipSim chip(cfg);
+    const SimResult result = runWorkload(chip, {"mcf", "hmmer", "milc"}, pl);
+
+    ASSERT_FALSE(result.metrics.empty());
+    const telemetry::Snapshot rebuilt = rebuildResultMetrics(result);
+    // Path-for-path, value-for-value: reports may render from either.
+    EXPECT_TRUE(result.metrics == rebuilt);
+
+    // Spot-check the schema against the structs.
+    EXPECT_EQ(result.metrics.u64("chip.cycles"), result.cycles);
+    EXPECT_EQ(result.metrics.u64("llc.misses"), result.llc.misses);
+    EXPECT_EQ(result.metrics.u64("core.0.retired"),
+              result.cores[0].stats.retired);
+    EXPECT_EQ(result.metrics.u64("core.1.l1d.accesses"),
+              result.cores[1].l1d.accesses);
+    EXPECT_EQ(result.metrics.u64("dram.reads"), result.dram.reads);
+    EXPECT_EQ(result.metrics.at("chip.config").asString(), cfg.name);
+    EXPECT_EQ(result.metrics.at("chip.hit_cycle_limit").asBool(),
+              result.hitCycleLimit);
+}
+
+TEST(ChipTelemetryTest, RegistryViewsTrackLiveCounters)
+{
+    const ChipConfig cfg =
+        ChipConfig::homogeneous("1B", CoreParams::big(), 1);
+    ChipSim chip(cfg);
+    Placement pl;
+    pl.entries = {{0, 0}};
+    runWorkload(chip, {"hmmer"}, pl);
+
+    // Between runs the registry reads the very cells the run bumped.
+    EXPECT_GT(chip.metrics().read("core.0.retired").asU64(), 0u);
+    EXPECT_EQ(chip.metrics().read("chip.cycles").asU64(), chip.now());
+    EXPECT_GT(chip.metrics().read("core.0.dispatch.int_alu").asU64(), 0u);
+}
+
+TEST(ChipTelemetryTest, CoreClearStatsResetsEverything)
+{
+    const ChipConfig cfg =
+        ChipConfig::homogeneous("1B", CoreParams::big(), 1);
+    ChipSim chip(cfg);
+    Placement pl;
+    pl.entries = {{0, 0}};
+    runWorkload(chip, {"mcf"}, pl);
+
+    Core &core = chip.core(0);
+    ASSERT_GT(core.stats().retired, 0u);
+    ASSERT_GT(core.stats().coreCycles, 0u);
+    core.clearStats();
+    EXPECT_EQ(core.stats().retired, 0u);
+    EXPECT_EQ(core.stats().coreCycles, 0u);
+    EXPECT_EQ(core.stats().busyCycles, 0u);
+    EXPECT_EQ(core.stats().mispredicts, 0u);
+    for (std::size_t k = 0; k < kNumOpClasses; ++k)
+        EXPECT_EQ(core.stats().dispatched[k], 0u);
+    // The registry's views see the reset immediately.
+    EXPECT_EQ(chip.metrics().read("core.0.retired").asU64(), 0u);
+}
+
+TEST(ChipTelemetryTest, SamplingPopulatesSeries)
+{
+    const ChipConfig cfg =
+        ChipConfig::homogeneous("1B", CoreParams::big(), 1);
+    ChipSim chip(cfg);
+    chip.enableSampling(1'000);
+    ASSERT_TRUE(chip.samplingEnabled());
+    Placement pl;
+    pl.entries = {{0, 0}};
+    runWorkload(chip, {"mcf"}, pl);
+
+    const telemetry::Series *ipc = chip.metrics().findSeries("chip.ipc");
+    const telemetry::Series *active =
+        chip.metrics().findSeries("chip.active_threads");
+    ASSERT_NE(ipc, nullptr);
+    ASSERT_NE(active, nullptr);
+    EXPECT_GT(ipc->size(), 0u);
+    EXPECT_EQ(ipc->size(), active->size());
+
+    // Samples land exactly on interval boundaries, in order.
+    std::uint64_t prev = 0;
+    for (const auto &point : ipc->points()) {
+        EXPECT_EQ(point.x % 1'000, 0u);
+        EXPECT_GT(point.x, prev);
+        prev = point.x;
+        EXPECT_GE(point.value, 0.0);
+    }
+    // An active single-thread run should show one attached thread.
+    EXPECT_DOUBLE_EQ(active->points().front().value, 1.0);
+}
+
+TEST(ChipTelemetryTest, SamplingRingCapsPoints)
+{
+    const ChipConfig cfg =
+        ChipConfig::homogeneous("1B", CoreParams::big(), 1);
+    ChipSim chip(cfg);
+    chip.enableSampling(500, 8);
+    Placement pl;
+    pl.entries = {{0, 0}};
+    runWorkload(chip, {"mcf"}, pl);
+
+    const telemetry::Series *ipc = chip.metrics().findSeries("chip.ipc");
+    ASSERT_NE(ipc, nullptr);
+    EXPECT_LE(ipc->size(), 8u);
+    // The ring keeps the most recent samples.
+    EXPECT_EQ(ipc->points().back().x % 500, 0u);
+}
+
+/** Sampling must not perturb simulation: a sampled fast-forward run stays
+ * bit-identical to a sampled strict run (the jump clamp at sample
+ * boundaries), and to an unsampled run of either kind. */
+TEST(ChipTelemetryTest, SamplingPreservesBitIdenticalResults)
+{
+    const ChipConfig cfg =
+        ChipConfig::homogeneous("2B", CoreParams::big(), 2);
+    Placement pl;
+    pl.entries = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const std::vector<const char *> benches = {"mcf", "milc", "hmmer",
+                                               "mcf"};
+
+    ChipSim plain(cfg);
+    plain.setFastForward(true);
+    const SimResult base = runWorkload(plain, benches, pl);
+
+    ChipSim sampled_fast(cfg);
+    sampled_fast.setFastForward(true);
+    sampled_fast.enableSampling(2'000);
+    const SimResult fast = runWorkload(sampled_fast, benches, pl);
+
+    ChipSim sampled_strict(cfg);
+    sampled_strict.setFastForward(false);
+    sampled_strict.enableSampling(2'000);
+    const SimResult strict = runWorkload(sampled_strict, benches, pl);
+
+    // mcf is latency-bound: fast-forward must still engage while sampling.
+    EXPECT_GT(sampled_fast.fastForwardedCycles(), Cycle{0});
+
+    // Snapshots cover every counter; equality is the full differential.
+    EXPECT_TRUE(base.metrics == fast.metrics);
+    EXPECT_TRUE(fast.metrics == strict.metrics);
+
+    // And the sampled series themselves agree between strict and fast.
+    const telemetry::Series *fast_ipc =
+        sampled_fast.metrics().findSeries("chip.ipc");
+    const telemetry::Series *strict_ipc =
+        sampled_strict.metrics().findSeries("chip.ipc");
+    ASSERT_NE(fast_ipc, nullptr);
+    ASSERT_NE(strict_ipc, nullptr);
+    ASSERT_EQ(fast_ipc->size(), strict_ipc->size());
+    for (std::size_t i = 0; i < fast_ipc->size(); ++i) {
+        EXPECT_EQ(fast_ipc->points()[i].x, strict_ipc->points()[i].x);
+        EXPECT_EQ(fast_ipc->points()[i].value, strict_ipc->points()[i].value);
+    }
+}
+
+TEST(ChipTelemetryTest, RebuildWorksForHandBuiltResults)
+{
+    SimResult result;
+    result.configName = "synthetic";
+    result.cycles = 1'000;
+    result.llc.accesses = 10;
+    result.llc.misses = 3;
+    result.dram.reads = 2;
+
+    const telemetry::Snapshot snap = rebuildResultMetrics(result);
+    EXPECT_EQ(snap.u64("chip.cycles"), 1'000u);
+    EXPECT_EQ(snap.u64("llc.misses"), 3u);
+    EXPECT_EQ(snap.u64("dram.reads"), 2u);
+    EXPECT_EQ(snap.at("chip.config").asString(), "synthetic");
+}
+
+} // namespace
+} // namespace smtflex

@@ -12,6 +12,7 @@
  *   smtflex sweep  --design 4B [--bench tonto | --het] [--no-smt]
  *   smtflex parsec --app ferret --design 20s --threads 16 [--throttle]
  *   smtflex serve  --port 7333 --jobs 8 [--queue N] [--cache FILE]
+ *   smtflex stats  --addr HOST:PORT [--metrics]
  *
  * The run/sweep/isolated commands render through the same
  * serve::commands core the network server uses, so `smtflex serve`
@@ -30,6 +31,7 @@
 #include "common/env.h"
 #include "common/log.h"
 #include "exec/thread_pool.h"
+#include "serve/client.h"
 #include "report/sim_report.h"
 #include "serve/commands.h"
 #include "serve/loadgen.h"
@@ -312,6 +314,42 @@ cmdServe(const Args &args)
     return 0;
 }
 
+/**
+ * Query a running `smtflex serve` instance without hand-writing frames:
+ * prints the stats op's counters as sorted `key value` lines, or with
+ * --metrics the full registry in Prometheus exposition format.
+ */
+int
+cmdStats(const Args &args)
+{
+    const std::string addr = args.get("addr", "");
+    if (addr.empty())
+        fatal("stats: --addr HOST:PORT required");
+    const auto colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size())
+        fatal("stats: --addr must be HOST:PORT, got '", addr, "'");
+    const std::string host = addr.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        parseU64(addr.substr(colon + 1), "--addr port"));
+
+    serve::Client client;
+    client.connect(host, port);
+    serve::Json req = serve::Json::object();
+    req.set("op",
+            serve::Json::string(args.has("metrics") ? "metrics" : "stats"));
+    const serve::Json reply = client.call(req);
+    if (!reply.at("ok").asBool())
+        fatal("server error: ", reply.at("error").asString());
+
+    if (args.has("metrics")) {
+        std::fputs(reply.at("exposition").asString().c_str(), stdout);
+        return 0;
+    }
+    for (const auto &[key, value] : reply.at("stats").members())
+        std::printf("%-20s %s\n", key.c_str(), value.dump().c_str());
+    return 0;
+}
+
 int
 usage()
 {
@@ -331,7 +369,10 @@ usage()
         "  trace  --bench b --out file [--count N] [--seed N]\n"
         "  serve  [--port N] [--host A] [--jobs N] [--queue N]\n"
         "         [--batch N] [--max-frame N] [--drain-timeout MS]\n"
-        "         [--cache FILE]\n");
+        "         [--cache FILE]\n"
+        "  stats  --addr HOST:PORT [--metrics]\n"
+        "                                query a running server's counters\n"
+        "                                (--metrics: Prometheus exposition)\n");
     return 2;
 }
 
@@ -361,6 +402,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "stats")
+            return cmdStats(args);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "smtflex: %s\n", e.what());
         return 1;

@@ -39,6 +39,8 @@ usage()
         "  --warmup N        warmup instructions (default 500)\n"
         "  --deadline-ms N   deadline on simulation requests (default 0)\n"
         "  --ping-delay-ms N queue pings for N ms instead of inline\n"
+        "  --stats-interval N  print a server stats line every N ms while\n"
+        "                    the load runs (default 0 = off)\n"
         "  --chaos MODE      misbehave between requests: disconnect,\n"
         "                    partial-frame or garbage (default off)\n"
         "  --chaos-every N   one chaos act per ~N requests (default 3)\n"
@@ -93,6 +95,8 @@ main(int argc, char **argv)
         options.warmup = num("warmup", options.warmup);
         options.deadlineMs = num("deadline-ms", options.deadlineMs);
         options.pingDelayMs = num("ping-delay-ms", options.pingDelayMs);
+        options.statsIntervalMs =
+            num("stats-interval", options.statsIntervalMs);
         options.chaos = str("chaos", options.chaos);
         options.chaosEvery =
             static_cast<unsigned>(num("chaos-every", options.chaosEvery));
