@@ -1,0 +1,197 @@
+#include "shard_planner.h"
+
+#include "common/log.h"
+
+namespace smtflex {
+namespace dist {
+
+ShardPlanner::ShardPlanner(std::size_t item_count, std::size_t chunk_size,
+                           unsigned max_dispatch)
+    : itemCount_(item_count), maxDispatch_(max_dispatch),
+      itemDone_(item_count, false)
+{
+    if (chunk_size == 0)
+        fatal("ShardPlanner: chunk_size must be positive");
+    if (maxDispatch_ == 0)
+        fatal("ShardPlanner: max_dispatch must be positive");
+    for (std::size_t begin = 0; begin < item_count; begin += chunk_size) {
+        Chunk chunk;
+        const std::size_t end = std::min(begin + chunk_size, item_count);
+        for (std::size_t i = begin; i < end; ++i)
+            chunk.items.push_back(i);
+        pending_.push_back(chunks_.size());
+        chunks_.push_back(std::move(chunk));
+    }
+}
+
+std::optional<ShardChunk>
+ShardPlanner::claim(std::chrono::milliseconds steal_after)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t id = 0;
+    bool steal = false;
+    if (!pending_.empty()) {
+        id = pending_.front();
+        pending_.pop_front();
+    } else {
+        // Steal the longest-in-flight stale chunk with budget left.
+        const auto now = std::chrono::steady_clock::now();
+        bool found = false;
+        for (std::size_t i = 0; i < chunks_.size(); ++i) {
+            const Chunk &chunk = chunks_[i];
+            if (chunk.state != State::kInFlight ||
+                chunk.dispatchCount >= maxDispatch_)
+                continue;
+            if (now - chunk.firstDispatch < steal_after)
+                continue;
+            if (!found || chunk.firstDispatch < chunks_[id].firstDispatch) {
+                id = i;
+                found = true;
+            }
+        }
+        if (!found)
+            return std::nullopt;
+        steal = true;
+    }
+
+    Chunk &chunk = chunks_[id];
+    if (chunk.state == State::kPending)
+        chunk.firstDispatch = std::chrono::steady_clock::now();
+    chunk.state = State::kInFlight;
+    ++chunk.dispatchCount;
+    ++chunk.outstanding;
+    ++dispatched_;
+    if (steal)
+        ++stolen_;
+
+    ShardChunk out;
+    out.id = id;
+    out.items = chunk.items;
+    out.dispatchCount = chunk.dispatchCount;
+    return out;
+}
+
+std::vector<std::size_t>
+ShardPlanner::complete(std::size_t chunk_id)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (chunk_id >= chunks_.size())
+        fatal("ShardPlanner: complete of unknown chunk ", chunk_id);
+    Chunk &chunk = chunks_[chunk_id];
+    if (chunk.outstanding > 0)
+        --chunk.outstanding;
+
+    std::vector<std::size_t> fresh;
+    for (const std::size_t item : chunk.items) {
+        if (itemDone_[item]) {
+            // A twin dispatch (steal, or a requeue that raced its own
+            // failure report) already delivered this item.
+            ++duplicateItems_;
+            continue;
+        }
+        itemDone_[item] = true;
+        ++itemsDone_;
+        fresh.push_back(item);
+    }
+    chunk.state = State::kDone;
+    return fresh;
+}
+
+void
+ShardPlanner::release(std::size_t chunk_id)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (chunk_id >= chunks_.size())
+        fatal("ShardPlanner: release of unknown chunk ", chunk_id);
+    Chunk &chunk = chunks_[chunk_id];
+    if (chunk.outstanding > 0)
+        --chunk.outstanding;
+    if (chunk.state != State::kInFlight)
+        return; // a twin already completed (or abandoned) it
+    if (chunk.outstanding > 0)
+        return; // a stolen twin is still working on it
+    if (chunk.dispatchCount >= maxDispatch_) {
+        chunk.state = State::kAbandoned;
+        ++abandoned_;
+        return;
+    }
+    chunk.state = State::kPending;
+    pending_.push_back(chunk_id);
+    ++requeued_;
+}
+
+bool
+ShardPlanner::done() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return itemsDone_ == itemCount_;
+}
+
+bool
+ShardPlanner::settled() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Chunk &chunk : chunks_) {
+        if (chunk.state == State::kPending ||
+            chunk.state == State::kInFlight)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::size_t>
+ShardPlanner::remainingItems() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < itemCount_; ++i) {
+        if (!itemDone_[i])
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t
+ShardPlanner::chunkCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return chunks_.size();
+}
+
+std::uint64_t
+ShardPlanner::dispatched() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dispatched_;
+}
+
+std::uint64_t
+ShardPlanner::stolen() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stolen_;
+}
+
+std::uint64_t
+ShardPlanner::requeued() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return requeued_;
+}
+
+std::uint64_t
+ShardPlanner::abandoned() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return abandoned_;
+}
+
+std::uint64_t
+ShardPlanner::duplicateItems() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return duplicateItems_;
+}
+
+} // namespace dist
+} // namespace smtflex

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * smtflex::dist — ShardPlanner: deterministic partitioning of a sweep's
+ * index grid into chunks, plus the work-stealing redistribution that
+ * keeps a fleet busy when one backend is slow or dead.
+ *
+ * The planner owns abstract item indices [0, itemCount); the coordinator
+ * maps them onto sweep rows. Chunks are contiguous index ranges, so the
+ * partition is a pure function of (itemCount, chunkSize) — every
+ * coordinator instance plans the same chunks for the same sweep.
+ *
+ * Lifecycle of a chunk:
+ *
+ *   Pending ──claim──▶ InFlight ──complete──▶ Done
+ *      ▲                  │  │
+ *      └────release───────┘  └─claim (steal, after stealAfter)─▶ InFlight
+ *
+ * A straggling InFlight chunk may be claimed again (a steal); the chunk
+ * is then outstanding on two backends and whichever finishes first wins.
+ * complete() returns only the items not already completed — the losing
+ * twin's items count as duplicates, so each index is *reported* exactly
+ * once no matter how often its chunk was dispatched. release() returns a
+ * failed dispatch; once a chunk has burned through its dispatch budget it
+ * is abandoned (the caller computes those items locally) so a poisoned
+ * chunk can never spin the fleet forever.
+ *
+ * All methods are thread-safe (one mutex; the planner is coordination
+ * state, not a hot path).
+ */
+
+#ifndef SMTFLEX_DIST_SHARD_PLANNER_H
+#define SMTFLEX_DIST_SHARD_PLANNER_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace smtflex {
+namespace dist {
+
+/** One claimed unit of work: a contiguous slice of item indices. */
+struct ShardChunk
+{
+    std::size_t id = 0;
+    std::vector<std::size_t> items;
+    /** Dispatches of this chunk so far (1 = first claim, >1 = steal). */
+    unsigned dispatchCount = 0;
+};
+
+class ShardPlanner
+{
+  public:
+    /**
+     * Partition @p item_count indices into contiguous chunks of
+     * @p chunk_size items (the last chunk takes the remainder).
+     * @param max_dispatch dispatch budget per chunk; a chunk released
+     * after its budget is spent is abandoned instead of requeued.
+     */
+    ShardPlanner(std::size_t item_count, std::size_t chunk_size,
+                 unsigned max_dispatch = 3);
+
+    /**
+     * Claim work: the oldest Pending chunk, or — when none is pending —
+     * steal the longest-in-flight chunk that has been out for at least
+     * @p steal_after and still has dispatch budget. Returns nullopt when
+     * nothing is claimable right now (the caller should back off and
+     * re-check, or stop once settled()).
+     */
+    std::optional<ShardChunk> claim(std::chrono::milliseconds steal_after);
+
+    /**
+     * Report a finished dispatch of @p chunk_id. Returns the items this
+     * completion newly finished; items already completed by a winning
+     * twin are excluded and counted as duplicates.
+     */
+    std::vector<std::size_t> complete(std::size_t chunk_id);
+
+    /** Return a failed dispatch of @p chunk_id: requeue it while budget
+     * remains, abandon it otherwise. No-op if the chunk completed. */
+    void release(std::size_t chunk_id);
+
+    /** Every item completed. */
+    bool done() const;
+
+    /** No chunk is Pending or InFlight — i.e. claim() can never return
+     * work again. Done or abandoned-with-leftovers; the caller owns any
+     * items in remainingItems(). */
+    bool settled() const;
+
+    /** Items not (yet) completed, in index order. */
+    std::vector<std::size_t> remainingItems() const;
+
+    std::size_t itemCount() const { return itemCount_; }
+    std::size_t chunkCount() const;
+
+    // ---- counters (for dist.* telemetry) ----
+    std::uint64_t dispatched() const;  ///< claims, steals included
+    std::uint64_t stolen() const;      ///< claims of an InFlight chunk
+    std::uint64_t requeued() const;    ///< releases back to Pending
+    std::uint64_t abandoned() const;   ///< chunks past their budget
+    std::uint64_t duplicateItems() const; ///< items reported twice
+
+  private:
+    enum class State : std::uint8_t { kPending, kInFlight, kDone,
+                                      kAbandoned };
+
+    struct Chunk
+    {
+        std::vector<std::size_t> items;
+        State state = State::kPending;
+        unsigned dispatchCount = 0;
+        unsigned outstanding = 0; ///< dispatches not yet reported back
+        std::chrono::steady_clock::time_point firstDispatch;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t itemCount_ = 0;
+    unsigned maxDispatch_ = 3;
+    std::vector<Chunk> chunks_;
+    std::deque<std::size_t> pending_;
+    std::vector<bool> itemDone_;
+    std::size_t itemsDone_ = 0;
+
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t stolen_ = 0;
+    std::uint64_t requeued_ = 0;
+    std::uint64_t abandoned_ = 0;
+    std::uint64_t duplicateItems_ = 0;
+};
+
+} // namespace dist
+} // namespace smtflex
+
+#endif // SMTFLEX_DIST_SHARD_PLANNER_H

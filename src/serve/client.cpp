@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -81,13 +82,50 @@ Client::reconnect()
     addr.sin_port = htons(port_);
     if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
         fatal("client: invalid address '", host_, "'");
+
+    if (retry_.connectTimeoutMs == 0) {
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            const int err = errno;
+            close();
+            fatal("client: cannot connect to ", host_, ":", port_, ": ",
+                  std::strerror(err));
+        }
+        return;
+    }
+
+    // Deadline-bounded connect: go non-blocking for the handshake, poll
+    // for writability, read the socket error, then restore blocking mode
+    // for the op path.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        const int err = errno;
-        close();
-        fatal("client: cannot connect to ", host_, ":", port_, ": ",
-              std::strerror(err));
+        if (errno != EINPROGRESS) {
+            const int err = errno;
+            close();
+            fatal("client: cannot connect to ", host_, ":", port_, ": ",
+                  std::strerror(err));
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int n = ::poll(&pfd, 1,
+                             static_cast<int>(std::min<std::uint64_t>(
+                                 retry_.connectTimeoutMs, INT32_MAX)));
+        if (n <= 0) {
+            close();
+            fatal("client: connect to ", host_, ":", port_,
+                  " timed out after ", retry_.connectTimeoutMs, " ms");
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            close();
+            fatal("client: cannot connect to ", host_, ":", port_, ": ",
+                  std::strerror(err));
+        }
     }
+    ::fcntl(fd_, F_SETFL, flags);
 }
 
 void
@@ -132,7 +170,11 @@ Client::sendBytes(const void *data, std::size_t size)
             chunk = std::min<std::size_t>(
                 chunk, fault::param(fault::Site::kNetShortWrite, 1));
         waitReady(POLLOUT, "send");
-        const ssize_t n = ::write(fd_, bytes + sent, chunk);
+        // MSG_NOSIGNAL: a peer that tore the connection mid-frame must
+        // surface as EPIPE (handled below), not kill the process with
+        // SIGPIPE.
+        const ssize_t n =
+            ::send(fd_, bytes + sent, chunk, MSG_NOSIGNAL);
         if (n > 0) {
             sent += static_cast<std::size_t>(n);
             continue;

@@ -38,6 +38,11 @@ struct RetryPolicy
     /** Bound on one blocking send/receive, 0 = wait forever. A timed-out
      * op counts as a connection failure (the stream position is gone). */
     std::uint64_t opTimeoutMs = 0;
+    /** Bound on the TCP connect itself, 0 = blocking connect. A backend
+     * that accepts but never answers still costs the full opTimeoutMs;
+     * this cap is what lets a health probe fail fast on a host that does
+     * not even complete the handshake. */
+    std::uint64_t connectTimeoutMs = 0;
 };
 
 class Client

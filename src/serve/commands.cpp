@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/log.h"
 #include "exec/experiment_runner.h"
@@ -214,6 +215,42 @@ sweepText(StudyEngine &engine, const SweepRequest &req)
                 m.powerGatedW);
     }
     return out;
+}
+
+std::vector<std::pair<std::string, std::vector<double>>>
+sweepChunkRecords(StudyEngine &engine, const SweepRequest &req,
+                  const std::vector<std::uint32_t> &rows)
+{
+    validateSweep(req);
+    const ChipConfig cfg =
+        buildDesign(req.design, req.noSmt, req.hasBw, req.bw, false);
+
+    // Any computed row builds the full offline table as a side effect, so
+    // the isolated characterisation records travel with every chunk.
+    std::vector<std::string> keys = engine.isolationCacheKeys();
+    for (const std::uint32_t n : rows) {
+        if (n > cfg.totalContexts())
+            continue;
+        if (!req.bench.empty())
+            engine.homogeneousBenchmarkAt(cfg, req.bench, n);
+        else if (req.het)
+            engine.heterogeneousAt(cfg, n);
+        else
+            engine.homogeneousAt(cfg, n);
+        const auto row_keys =
+            engine.sweepRowCacheKeys(cfg, req.bench, req.het, n);
+        keys.insert(keys.end(), row_keys.begin(), row_keys.end());
+    }
+
+    std::vector<std::pair<std::string, std::vector<double>>> records;
+    std::unordered_set<std::string> seen;
+    for (const auto &key : keys) {
+        if (!seen.insert(key).second)
+            continue;
+        if (const auto hit = engine.resultCache().lookup(key))
+            records.emplace_back(key, *hit);
+    }
+    return records;
 }
 
 std::string

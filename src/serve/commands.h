@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/chip_config.h"
@@ -72,6 +73,19 @@ void validateIsolated(const IsolatedRequest &req);
 std::string runText(StudyEngine &engine, const RunRequest &req);
 std::string sweepText(StudyEngine &engine, const SweepRequest &req);
 std::string isolatedText(StudyEngine &engine, const IsolatedRequest &req);
+
+/**
+ * Compute the sweep rows named by @p rows (same dispatch as sweepText:
+ * bench / het / homogeneous) and collect the backing ResultCache records
+ * — every row's multiprogram keys plus the isolated characterisation
+ * keys. Rows beyond the design's context count are skipped, mirroring
+ * sweepText's early stop. This is the unit of work a dist coordinator
+ * shards: the caller re-renders text locally from the records, which is
+ * what makes a coordinated sweep byte-identical to a single-node one.
+ */
+std::vector<std::pair<std::string, std::vector<double>>>
+sweepChunkRecords(StudyEngine &engine, const SweepRequest &req,
+                  const std::vector<std::uint32_t> &rows);
 
 } // namespace serve
 } // namespace smtflex

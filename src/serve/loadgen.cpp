@@ -125,6 +125,16 @@ performChaos(Client &client, ChaosMode mode, Rng &rng)
     }
 }
 
+/** The endpoint connection @p index dials: round-robin over targets
+ * when set, the single host/port otherwise. */
+std::pair<std::string, std::uint16_t>
+endpointFor(const LoadGenOptions &options, std::size_t index)
+{
+    if (options.targets.empty())
+        return {options.host, options.port};
+    return options.targets[index % options.targets.size()];
+}
+
 } // namespace
 
 std::vector<Json>
@@ -238,7 +248,8 @@ runLoadGen(const LoadGenOptions &options)
             statsReq.set("op", Json::string("stats"));
             Client client;
             try {
-                client.connect(options.host, options.port);
+                const auto target = endpointFor(options, 0);
+                client.connect(target.first, target.second);
             } catch (const FatalError &) {
                 return;
             }
@@ -275,7 +286,8 @@ runLoadGen(const LoadGenOptions &options)
             Client client;
             try {
                 client.setRetryPolicy(options.retry);
-                client.connect(options.host, options.port);
+                const auto target = endpointFor(options, c);
+                client.connect(target.first, target.second);
                 Rng rng(options.seed, c);
                 Rng chaosRng(options.seed, 5'000 + c);
                 for (unsigned i = 0; i < options.requestsPerConnection;
@@ -392,7 +404,8 @@ runLoadGen(const LoadGenOptions &options)
     // Snapshot the server-side counters over a fresh connection.
     try {
         Client client;
-        client.connect(options.host, options.port);
+        const auto target = endpointFor(options, 0);
+        client.connect(target.first, target.second);
         Json statsReq = Json::object();
         statsReq.set("op", Json::string("stats"));
         const Json reply = client.call(statsReq);

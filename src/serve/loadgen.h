@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/client.h"
@@ -25,6 +26,14 @@ struct LoadGenOptions
 {
     std::string host = "127.0.0.1";
     std::uint16_t port = 7333;
+    /**
+     * Multi-target mode: when non-empty, connection k dials
+     * targets[k % targets.size()] round-robin and host/port above are
+     * ignored. Lets one loadgen spread a closed loop over a coordinator
+     * fleet (or compare N backends side by side). The live monitor and
+     * the post-run stats snapshot use the first target.
+     */
+    std::vector<std::pair<std::string, std::uint16_t>> targets;
     /** Concurrent connections (each one closed-loop). */
     unsigned connections = 8;
     unsigned requestsPerConnection = 50;

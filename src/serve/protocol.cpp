@@ -74,6 +74,12 @@ opName(Op op)
         return "sweep";
       case Op::kIsolated:
         return "isolated";
+      case Op::kCachePull:
+        return "cache_pull";
+      case Op::kCachePush:
+        return "cache_push";
+      case Op::kSweepChunk:
+        return "sweep_chunk";
     }
     return "?";
 }
@@ -202,11 +208,54 @@ parseRequest(const Json &doc)
         req.op = Op::kIsolated;
         req.isolated.benches = fieldStringList(doc, "benches");
         validateIsolated(req.isolated);
+    } else if (op == "cache_pull") {
+        req.op = Op::kCachePull;
+        if (!doc.has("keys"))
+            fatal("cache_pull: 'keys' (list of cache keys) required");
+        req.cachePull.keys = fieldStringList(doc, "keys");
+        if (req.cachePull.keys.empty())
+            fatal("cache_pull: 'keys' must not be empty");
+    } else if (op == "cache_push") {
+        req.op = Op::kCachePush;
+        if (!doc.has("records"))
+            fatal("cache_push: 'records' (key -> value-list object) "
+                  "required");
+        const Json &records = doc.at("records");
+        if (!records.isObject())
+            fatal("cache_push: 'records' must be an object");
+        for (const auto &entry : records.members()) {
+            std::vector<double> values;
+            for (const Json &value : entry.second.elements())
+                values.push_back(value.asNumber());
+            req.cachePush.records.emplace_back(entry.first,
+                                               std::move(values));
+        }
+    } else if (op == "sweep_chunk") {
+        req.op = Op::kSweepChunk;
+        req.chunk.sweep.design =
+            fieldString(doc, "design", req.chunk.sweep.design);
+        req.chunk.sweep.bench = fieldString(doc, "bench", "");
+        req.chunk.sweep.het = fieldBool(doc, "het", false);
+        req.chunk.sweep.noSmt = fieldBool(doc, "no_smt", false);
+        req.chunk.sweep.hasBw = doc.has("bw");
+        req.chunk.sweep.bw = fieldDouble(doc, "bw", req.chunk.sweep.bw);
+        validateSweep(req.chunk.sweep);
+        if (!doc.has("rows"))
+            fatal("sweep_chunk: 'rows' (list of thread counts) required");
+        for (const Json &row : doc.at("rows").elements()) {
+            const std::uint64_t n = row.asU64();
+            if (n == 0)
+                fatal("sweep_chunk: row thread counts must be positive");
+            req.chunk.rows.push_back(static_cast<std::uint32_t>(n));
+        }
+        if (req.chunk.rows.empty())
+            fatal("sweep_chunk: 'rows' must not be empty");
     } else if (op.empty()) {
         fatal("request is missing the 'op' member");
     } else {
         fatal("unknown op '", op,
-              "' (expected ping, stats, metrics, run, sweep or isolated)");
+              "' (expected ping, stats, metrics, run, sweep, isolated, "
+              "cache_pull, cache_push or sweep_chunk)");
     }
     return req;
 }
@@ -222,6 +271,8 @@ Request::canonicalKey() const
       case Op::kPing:
       case Op::kStats:
       case Op::kMetrics:
+      case Op::kCachePull:
+      case Op::kCachePush:
         return std::string();
       case Op::kRun: {
         doc.set("op", Json::string("run"));
@@ -257,6 +308,20 @@ Request::canonicalKey() const
         for (const auto &bench : isolated.benches)
             benches.push(Json::string(bench));
         doc.set("benches", std::move(benches));
+        break;
+      }
+      case Op::kSweepChunk: {
+        doc.set("op", Json::string("sweep_chunk"));
+        doc.set("design", Json::string(chunk.sweep.design));
+        doc.set("bench", Json::string(chunk.sweep.bench));
+        doc.set("het", Json::boolean(chunk.sweep.het));
+        doc.set("no_smt", Json::boolean(chunk.sweep.noSmt));
+        if (chunk.sweep.hasBw)
+            doc.set("bw", Json::number(chunk.sweep.bw));
+        Json rows = Json::array();
+        for (const std::uint32_t n : chunk.rows)
+            rows.push(Json::number(std::uint64_t{n}));
+        doc.set("rows", std::move(rows));
         break;
       }
     }

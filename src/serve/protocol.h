@@ -22,6 +22,23 @@
  *   {"op":"run","design":"4B","workload":["mcf","hmmer"],...}
  *   {"op":"sweep","design":"2B4m","het":true,...}
  *   {"op":"isolated","benches":["tonto"]}
+ *   {"op":"cache_pull","keys":["mp;4B;...","iso;mcf;..."]}
+ *                                        fetch ResultCache records by key;
+ *                                        replies {"records":{key:[v,...]},
+ *                                        "misses":N} with absent keys
+ *                                        simply omitted
+ *   {"op":"cache_push","records":{key:[v,...]}}
+ *                                        seed ResultCache records; replies
+ *                                        {"stored":N,"rejected":N}
+ *                                        (structurally empty records — an
+ *                                        empty key or value list — are
+ *                                        rejected, not fatal)
+ *   {"op":"sweep_chunk","design":"4B","rows":[1,2,12],...}
+ *                                        compute the named sweep rows and
+ *                                        reply with the backing
+ *                                        ResultCache records instead of
+ *                                        rendered text — the unit of work
+ *                                        the dist coordinator shards
  *
  * Common optional members: "id" (u64, echoed verbatim in the reply so
  * clients may pipeline), "deadline_ms" (u64; the request is answered with
@@ -42,6 +59,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "serve/commands.h"
 #include "serve/json.h"
@@ -89,10 +108,42 @@ class FrameDecoder
 };
 
 /** Request verbs of the protocol. */
-enum class Op { kPing, kStats, kMetrics, kRun, kSweep, kIsolated };
+enum class Op
+{
+    kPing,
+    kStats,
+    kMetrics,
+    kRun,
+    kSweep,
+    kIsolated,
+    kCachePull,
+    kCachePush,
+    kSweepChunk,
+};
 
 /** Printable verb name (as used on the wire). */
 const char *opName(Op op);
+
+/** Parameters of a `cache_pull` (federated ResultCache read). */
+struct CachePullRequest
+{
+    std::vector<std::string> keys;
+};
+
+/** Parameters of a `cache_push` (federated ResultCache seed). Records
+ * keep their wire order (canonical JSON: sorted by key). */
+struct CachePushRequest
+{
+    std::vector<std::pair<std::string, std::vector<double>>> records;
+};
+
+/** Parameters of a `sweep_chunk`: a slice of a sweep's thread-count grid
+ * whose result is the backing cache records, not rendered text. */
+struct SweepChunkRequest
+{
+    SweepRequest sweep;
+    std::vector<std::uint32_t> rows;
+};
 
 /** A parsed, validated request. */
 struct Request
@@ -105,13 +156,17 @@ struct Request
     RunRequest run;
     SweepRequest sweep;
     IsolatedRequest isolated;
+    CachePullRequest cachePull;
+    CachePushRequest cachePush;
+    SweepChunkRequest chunk;
 
     /**
      * Canonical identity of the simulation this request asks for, used
      * for coalescing identical in-flight requests and memoising
-     * responses. Empty for ping/stats/metrics, which are never coalesced
-     * or cached. Excludes id/deadline: two requests differing only in
-     * those fields share one simulation.
+     * responses. Empty for ping/stats/metrics — and for the cache_pull/
+     * cache_push federation ops, which read or write mutable state and
+     * must never be coalesced or cached. Excludes id/deadline: two
+     * requests differing only in those fields share one simulation.
      */
     std::string canonicalKey() const;
 };

@@ -450,6 +450,16 @@ Server::processPayload(Connection &conn, const std::string &payload)
         sendBody(conn, body, request.id);
         return;
     }
+    // The federation ops read/write the thread-safe ResultCache directly
+    // — no simulation, so they are answered inline like stats/metrics.
+    if (request.op == Op::kCachePull) {
+        sendBody(conn, cachePullBody(request.cachePull), request.id);
+        return;
+    }
+    if (request.op == Op::kCachePush) {
+        sendBody(conn, cachePushBody(request.cachePush), request.id);
+        return;
+    }
     admit(conn, std::move(request));
 }
 
@@ -543,6 +553,46 @@ Server::statsBody() const
 }
 
 Json
+Server::cachePullBody(const CachePullRequest &req)
+{
+    Json body = makeResponse(Op::kCachePull);
+    Json records = Json::object();
+    std::uint64_t misses = 0;
+    for (const auto &key : req.keys) {
+        if (const auto hit = engine_.resultCache().lookup(key)) {
+            Json values = Json::array();
+            for (const double v : *hit)
+                values.push(Json::number(v));
+            records.set(key, std::move(values));
+        } else {
+            ++misses;
+        }
+    }
+    body.set("records", std::move(records));
+    body.set("misses", Json::number(misses));
+    return body;
+}
+
+Json
+Server::cachePushBody(const CachePushRequest &req)
+{
+    Json body = makeResponse(Op::kCachePush);
+    std::uint64_t stored = 0;
+    std::uint64_t rejected = 0;
+    for (const auto &[key, values] : req.records) {
+        if (key.empty() || values.empty()) {
+            ++rejected;
+            continue;
+        }
+        engine_.resultCache().store(key, values);
+        ++stored;
+    }
+    body.set("stored", Json::number(stored));
+    body.set("rejected", Json::number(rejected));
+    return body;
+}
+
+Json
 Server::metricsBody() const
 {
     Json body = makeResponse(Op::kMetrics);
@@ -592,10 +642,14 @@ Server::handleWritable(Connection &conn)
         if (fault::shouldFire(fault::Site::kNetShortWrite))
             chunk = std::max<std::uint64_t>(
                 1, fault::param(fault::Site::kNetShortWrite, 1));
+        // MSG_NOSIGNAL: a client that vanished mid-response must come
+        // back as EPIPE (the connection is dropped below), not raise
+        // SIGPIPE and kill the server.
         const ssize_t n =
-            ::write(conn.fd, conn.outBuffer.data() + conn.outOffset,
-                    std::min(chunk,
-                             conn.outBuffer.size() - conn.outOffset));
+            ::send(conn.fd, conn.outBuffer.data() + conn.outOffset,
+                   std::min(chunk,
+                            conn.outBuffer.size() - conn.outOffset),
+                   MSG_NOSIGNAL);
         if (n > 0) {
             conn.outOffset += static_cast<std::size_t>(n);
             continue;
@@ -698,38 +752,70 @@ Server::executeJob(const Job &job)
     }
     try {
         Json body;
-        switch (job.request.op) {
-          case Op::kPing:
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(job.request.delayMs));
-            body = makeResponse(Op::kPing);
-            body.set("pong", Json::boolean(true));
-            break;
-          case Op::kRun:
-            body = makeResponse(Op::kRun);
-            body.set("output",
-                     Json::string(runText(engine_, job.request.run)));
+        const bool delegated = options_.simExecutor &&
+            (job.request.op == Op::kRun || job.request.op == Op::kSweep ||
+             job.request.op == Op::kIsolated);
+        if (delegated) {
+            // Coordinator mode: the dist layer answers the simulation
+            // ops (sharding them across backends) while this server
+            // keeps owning the wire, admission and memoisation.
+            body = options_.simExecutor(job.request);
             completion.cacheable = true;
-            break;
-          case Op::kSweep:
-            body = makeResponse(Op::kSweep);
-            body.set("output",
-                     Json::string(sweepText(engine_, job.request.sweep)));
-            completion.cacheable = true;
-            break;
-          case Op::kIsolated:
-            body = makeResponse(Op::kIsolated);
-            body.set("output",
-                     Json::string(
-                         isolatedText(engine_, job.request.isolated)));
-            completion.cacheable = true;
-            break;
-          case Op::kStats:
-            body = statsBody(); // unreachable: stats is inline
-            break;
-          case Op::kMetrics:
-            body = metricsBody(); // unreachable: metrics is inline
-            break;
+        } else {
+            switch (job.request.op) {
+              case Op::kPing:
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(job.request.delayMs));
+                body = makeResponse(Op::kPing);
+                body.set("pong", Json::boolean(true));
+                break;
+              case Op::kRun:
+                body = makeResponse(Op::kRun);
+                body.set("output",
+                         Json::string(runText(engine_, job.request.run)));
+                completion.cacheable = true;
+                break;
+              case Op::kSweep:
+                body = makeResponse(Op::kSweep);
+                body.set("output",
+                         Json::string(
+                             sweepText(engine_, job.request.sweep)));
+                completion.cacheable = true;
+                break;
+              case Op::kIsolated:
+                body = makeResponse(Op::kIsolated);
+                body.set("output",
+                         Json::string(
+                             isolatedText(engine_, job.request.isolated)));
+                completion.cacheable = true;
+                break;
+              case Op::kSweepChunk: {
+                body = makeResponse(Op::kSweepChunk);
+                Json records = Json::object();
+                for (const auto &[key, values] :
+                     sweepChunkRecords(engine_, job.request.chunk.sweep,
+                                       job.request.chunk.rows)) {
+                    Json list = Json::array();
+                    for (const double v : values)
+                        list.push(Json::number(v));
+                    records.set(key, std::move(list));
+                }
+                body.set("records", std::move(records));
+                completion.cacheable = true;
+                break;
+              }
+              case Op::kStats:
+                body = statsBody(); // unreachable: stats is inline
+                break;
+              case Op::kMetrics:
+                body = metricsBody(); // unreachable: metrics is inline
+                break;
+              case Op::kCachePull:
+              case Op::kCachePush:
+                // Unreachable: the federation ops are answered inline.
+                body = makeError("internal", "federation op in worker");
+                break;
+            }
         }
         stats_.executed.fetch_add(1);
         completion.body = body.dump();

@@ -42,6 +42,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -81,6 +82,17 @@ struct ServerOptions
     std::uint64_t drainTimeoutMs = 5'000;
     /** Study options (budget/warmup/seed defaults, ResultCache path). */
     StudyOptions study = StudyOptions();
+    /**
+     * When set, the run/sweep/isolated simulation ops are delegated to
+     * this hook instead of the local StudyEngine — the seam the dist
+     * coordinator plugs into to stay wire-compatible while sharding the
+     * work across backends. The hook runs on pool worker threads (like
+     * any simulation job), returns the full response body, and may throw
+     * FatalError for a `failed` reply. All other ops (ping, stats,
+     * metrics, cache_pull/cache_push, sweep_chunk) keep their local
+     * paths.
+     */
+    std::function<Json(const Request &)> simExecutor;
 };
 
 /** Monotonically increasing counters, readable while serving. */
@@ -150,6 +162,18 @@ class Server
 
     const ServerStats &stats() const { return stats_; }
 
+    /** The server's experiment driver (the dist coordinator renders its
+     * federated sweeps through it). */
+    StudyEngine &engine() { return engine_; }
+
+    /**
+     * The serve.* metric registry. Additional subsystems (dist.*) may
+     * register before run() starts; walks happen on the I/O thread, so
+     * late registrations would race. Counter cells and gauges backed by
+     * atomics are safe to bump from any thread.
+     */
+    telemetry::MetricRegistry &registry() { return registry_; }
+
   private:
     struct Connection
     {
@@ -217,6 +241,8 @@ class Server
 
     Json statsBody() const;
     Json metricsBody() const;
+    Json cachePullBody(const CachePullRequest &req);
+    Json cachePushBody(const CachePushRequest &req);
 
     ServerOptions options_;
     StudyEngine engine_;

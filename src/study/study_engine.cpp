@@ -68,14 +68,53 @@ StudyEngine::keyPrefix(const ChipConfig &config) const
     return os.str();
 }
 
-double
-StudyEngine::isolatedIpc(const std::string &bench, CoreType type)
+std::string
+StudyEngine::isolationKey(const std::string &bench, CoreType type) const
 {
     std::ostringstream key;
     key << "iso;" << bench << ";" << coreTypeTag(type) << ";b"
         << options_.budget << ";w" << options_.warmup << ";s"
         << options_.seed << ";bw" << options_.bandwidthGBps;
-    if (const auto hit = cache_.lookup(key.str()))
+    return key.str();
+}
+
+std::vector<std::string>
+StudyEngine::isolationCacheKeys() const
+{
+    std::vector<std::string> keys;
+    for (const auto &bench : specBenchmarkNames()) {
+        for (const CoreType type :
+             {CoreType::kBig, CoreType::kMedium, CoreType::kSmall})
+            keys.push_back(isolationKey(bench, type));
+    }
+    return keys;
+}
+
+std::vector<std::string>
+StudyEngine::sweepRowCacheKeys(const ChipConfig &config,
+                               const std::string &bench, bool het,
+                               std::uint32_t n) const
+{
+    const std::string prefix = "mp;" + keyPrefix(config) + ";";
+    std::vector<std::string> keys;
+    if (!bench.empty()) {
+        keys.push_back(prefix + homogeneousWorkload(bench, n).name);
+    } else if (het && n > 1) {
+        for (const auto &mix :
+             heterogeneousWorkloads(n, options_.hetMixes, options_.seed))
+            keys.push_back(prefix + mix.name);
+    } else {
+        for (const auto &b : specBenchmarkNames())
+            keys.push_back(prefix + homogeneousWorkload(b, n).name);
+    }
+    return keys;
+}
+
+double
+StudyEngine::isolatedIpc(const std::string &bench, CoreType type)
+{
+    const std::string key = isolationKey(bench, type);
+    if (const auto hit = cache_.lookup(key))
         return hit->at(0);
 
     CoreParams core;
@@ -105,7 +144,7 @@ StudyEngine::isolatedIpc(const std::string &bench, CoreType type)
         fatal("isolatedIpc: ", bench, " never finished on ",
               coreTypeTag(type));
     const double ipc = result.threads[0].ipc();
-    cache_.store(key.str(), {ipc});
+    cache_.store(key, {ipc});
     return ipc;
 }
 

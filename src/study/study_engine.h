@@ -171,8 +171,27 @@ class StudyEngine
     std::vector<std::uint32_t>
     parsecThreadCandidates(const ChipConfig &config) const;
 
+    // ---- cache-key enumeration (the dist federation layer) ----
+
+    /** Cache keys of the 12 x 3 isolated characterisation runs backing
+     * the offline table (and the normalisation of every workload run). */
+    std::vector<std::string> isolationCacheKeys() const;
+
+    /**
+     * Cache keys of the multiprogram records one sweep row at thread
+     * count @p n reads, mirroring the sweep dispatch exactly: @p bench
+     * non-empty = the single homogeneous workload of that benchmark,
+     * @p het = the heterogeneous mixes (one thread degenerates to the
+     * homogeneous suite), otherwise the 12 homogeneous workloads.
+     */
+    std::vector<std::string> sweepRowCacheKeys(const ChipConfig &config,
+                                               const std::string &bench,
+                                               bool het,
+                                               std::uint32_t n) const;
+
   private:
     std::string keyPrefix(const ChipConfig &config) const;
+    std::string isolationKey(const std::string &bench, CoreType type) const;
     RunMetrics runMultiprogramUncached(const ChipConfig &config,
                                        const MultiProgramWorkload &workload);
     ParsecMetrics runParsecUncached(const ChipConfig &config,

@@ -15,6 +15,7 @@
 #define SMTFLEX_TELEMETRY_METRIC_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,11 @@ class MetricValue
  * interval — the registry's handle for paper-style time-axis data
  * (per-interval IPC, active threads per N cycles). The x axis is
  * whatever the producer samples on (global cycles for the chip).
+ *
+ * Appends and reads are internally synchronized: producers may run on
+ * worker threads (dist backend latency probes) while the serve I/O
+ * thread walks the registry for exposition. points() therefore hands
+ * out a snapshot copy, not a reference into live storage.
  */
 class Series
 {
@@ -117,15 +123,17 @@ class Series
 
     void append(std::uint64_t x, double value);
 
-    const std::vector<Point> &points() const { return points_; }
-    std::size_t size() const { return points_.size(); }
-    bool empty() const { return points_.empty(); }
-    void clear() { points_.clear(); }
+    /** Snapshot of the points. */
+    std::vector<Point> points() const;
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+    void clear();
 
     /** Most recent value (0 when empty — exposition convenience). */
-    double last() const { return points_.empty() ? 0.0 : points_.back().value; }
+    double last() const;
 
   private:
+    mutable std::mutex mu_;
     std::size_t maxPoints_;
     std::vector<Point> points_;
 };

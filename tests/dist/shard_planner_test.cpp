@@ -1,0 +1,191 @@
+/**
+ * @file
+ * ShardPlanner unit tests: deterministic partitioning, exactly-once
+ * item accounting under duplicate deliveries (steals), failure requeue
+ * with a bounded dispatch budget, and the settled/done distinction an
+ * abandoned chunk creates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "dist/shard_planner.h"
+
+namespace smtflex {
+namespace dist {
+namespace {
+
+constexpr std::chrono::milliseconds kNoSteal{60'000};
+constexpr std::chrono::milliseconds kStealNow{0};
+
+TEST(ShardPlannerTest, PartitionsItemsIntoContiguousChunks)
+{
+    ShardPlanner planner(10, 4);
+    EXPECT_EQ(planner.chunkCount(), 3u);
+
+    std::vector<std::vector<std::size_t>> claimed;
+    while (auto chunk = planner.claim(kNoSteal))
+        claimed.push_back(chunk->items);
+    ASSERT_EQ(claimed.size(), 3u);
+    EXPECT_EQ(claimed[0], (std::vector<std::size_t>{0, 1, 2, 3}));
+    EXPECT_EQ(claimed[1], (std::vector<std::size_t>{4, 5, 6, 7}));
+    EXPECT_EQ(claimed[2], (std::vector<std::size_t>{8, 9}));
+    EXPECT_EQ(planner.dispatched(), 3u);
+    EXPECT_EQ(planner.stolen(), 0u);
+}
+
+TEST(ShardPlannerTest, CompleteMarksItemsExactlyOnce)
+{
+    ShardPlanner planner(6, 3);
+    const auto a = planner.claim(kNoSteal);
+    const auto b = planner.claim(kNoSteal);
+    ASSERT_TRUE(a && b);
+
+    EXPECT_EQ(planner.complete(a->id).size(), 3u);
+    EXPECT_FALSE(planner.done());
+    EXPECT_EQ(planner.complete(b->id).size(), 3u);
+    EXPECT_TRUE(planner.done());
+    EXPECT_TRUE(planner.settled());
+    EXPECT_TRUE(planner.remainingItems().empty());
+    EXPECT_EQ(planner.duplicateItems(), 0u);
+}
+
+TEST(ShardPlannerTest, StealDispatchesInFlightChunkAndDedupsItems)
+{
+    ShardPlanner planner(4, 4);
+    const auto original = planner.claim(kNoSteal);
+    ASSERT_TRUE(original);
+
+    // Queue is empty; the in-flight chunk is immediately stale with a
+    // zero steal threshold.
+    const auto thief = planner.claim(kStealNow);
+    ASSERT_TRUE(thief);
+    EXPECT_EQ(thief->id, original->id);
+    EXPECT_EQ(planner.stolen(), 1u);
+
+    // First delivery wins every item; the twin's delivery is all dupes.
+    EXPECT_EQ(planner.complete(original->id).size(), 4u);
+    EXPECT_EQ(planner.complete(thief->id).size(), 0u);
+    EXPECT_EQ(planner.duplicateItems(), 4u);
+    EXPECT_TRUE(planner.done());
+}
+
+TEST(ShardPlannerTest, StealRespectsFreshnessAndDispatchBudget)
+{
+    ShardPlanner planner(2, 2, 2);
+    const auto original = planner.claim(kNoSteal);
+    ASSERT_TRUE(original);
+
+    // Not stale yet under a long threshold: nothing to claim.
+    EXPECT_FALSE(planner.claim(kNoSteal).has_value());
+
+    // Stale under a zero threshold — but only until the dispatch budget
+    // (2) is exhausted.
+    EXPECT_TRUE(planner.claim(kStealNow).has_value());
+    EXPECT_FALSE(planner.claim(kStealNow).has_value());
+    EXPECT_EQ(planner.dispatched(), 2u);
+}
+
+TEST(ShardPlannerTest, ReleaseRequeuesUntilBudgetThenAbandons)
+{
+    ShardPlanner planner(3, 3, 2);
+    const auto first = planner.claim(kNoSteal);
+    ASSERT_TRUE(first);
+    planner.release(first->id);
+    EXPECT_EQ(planner.requeued(), 1u);
+    EXPECT_FALSE(planner.settled());
+
+    // Second (and per the budget, last) dispatch fails too.
+    const auto second = planner.claim(kNoSteal);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(second->id, first->id);
+    planner.release(second->id);
+    EXPECT_EQ(planner.abandoned(), 1u);
+
+    // Abandoned: the planner settles without the items being done, and
+    // reports which ones fell through.
+    EXPECT_TRUE(planner.settled());
+    EXPECT_FALSE(planner.done());
+    EXPECT_EQ(planner.remainingItems(),
+              (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ShardPlannerTest, ReleaseAfterTwinCompletionIsANoOp)
+{
+    ShardPlanner planner(2, 2, 3);
+    const auto original = planner.claim(kNoSteal);
+    const auto thief = planner.claim(kStealNow);
+    ASSERT_TRUE(original && thief);
+
+    // The thief delivers; the original's subsequent failure report must
+    // not requeue a chunk that is already done.
+    EXPECT_EQ(planner.complete(thief->id).size(), 2u);
+    planner.release(original->id);
+    EXPECT_EQ(planner.requeued(), 0u);
+    EXPECT_TRUE(planner.settled());
+    EXPECT_TRUE(planner.done());
+}
+
+TEST(ShardPlannerTest, ReleaseWithTwinStillOutstandingKeepsChunkInFlight)
+{
+    ShardPlanner planner(2, 2, 3);
+    const auto original = planner.claim(kNoSteal);
+    const auto thief = planner.claim(kStealNow);
+    ASSERT_TRUE(original && thief);
+
+    // The original fails while the thief still works: the chunk must
+    // stay in flight (not requeue — that would over-dispatch).
+    planner.release(original->id);
+    EXPECT_EQ(planner.requeued(), 0u);
+    EXPECT_FALSE(planner.settled());
+
+    EXPECT_EQ(planner.complete(thief->id).size(), 2u);
+    EXPECT_TRUE(planner.done());
+}
+
+TEST(ShardPlannerTest, ConcurrentWorkersCompleteEveryItemExactlyOnce)
+{
+    constexpr std::size_t kItems = 200;
+    ShardPlanner planner(kItems, 7, 3);
+    std::atomic<std::uint64_t> delivered{0};
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&] {
+            while (!planner.settled()) {
+                auto chunk = planner.claim(kStealNow);
+                if (!chunk) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                    continue;
+                }
+                delivered += planner.complete(chunk->id).size();
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    // Steals may double-dispatch, but every item is delivered exactly
+    // once across the fleet.
+    EXPECT_TRUE(planner.done());
+    EXPECT_EQ(delivered.load(), kItems);
+    EXPECT_EQ(planner.dispatched(),
+              planner.stolen() + (kItems + 6) / 7);
+}
+
+TEST(ShardPlannerTest, RejectsZeroChunkSizeAndUnknownChunkIds)
+{
+    EXPECT_THROW(ShardPlanner(4, 0), FatalError);
+    ShardPlanner planner(4, 2);
+    EXPECT_THROW(planner.complete(99), FatalError);
+    EXPECT_THROW(planner.release(99), FatalError);
+}
+
+} // namespace
+} // namespace dist
+} // namespace smtflex

@@ -117,6 +117,41 @@ TEST(LoopbackE2eTest, ServedResponsesMatchSerialRenderingByteForByte)
     EXPECT_GE(stats.responsesSent.load(), report.sent);
 }
 
+TEST(LoopbackE2eTest, MultiTargetLoadSpreadsConnectionsRoundRobin)
+{
+    // Two independent servers, one loadgen: connections alternate over
+    // the targets and every server takes real traffic — the smoke test
+    // for pointing one loadgen at a coordinator fleet.
+    ServerOptions options;
+    options.study = e2eStudy();
+    E2eServer first(options);
+    E2eServer second(options);
+
+    LoadGenOptions load;
+    load.targets = {{"127.0.0.1", first.port()},
+                    {"127.0.0.1", second.port()}};
+    load.connections = 4;
+    load.requestsPerConnection = 5;
+    load.seed = 7;
+    load.mix = "ping=1,stats=1";
+
+    const LoadGenReport report = runLoadGen(load);
+    EXPECT_EQ(report.sent,
+              std::uint64_t{load.connections} *
+                  load.requestsPerConnection);
+    EXPECT_EQ(report.ok, report.sent);
+    EXPECT_EQ(report.otherErrors, 0u) << report.summary();
+
+    // 2 connections (x5 requests) landed on each server; the monitor
+    // and the final stats snapshot add reads to the FIRST target only.
+    const std::uint64_t onFirst =
+        first.server().stats().requestsReceived.load();
+    const std::uint64_t onSecond =
+        second.server().stats().requestsReceived.load();
+    EXPECT_GE(onFirst, 10u);
+    EXPECT_EQ(onSecond, 10u);
+}
+
 TEST(LoopbackE2eTest, SaturatedQueueRejectsWithOverloadedAndNeverHangs)
 {
     ServerOptions options;

@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -161,6 +162,62 @@ TEST_F(ServeChaosTest, PerOpTimeoutFailsInsteadOfHangingForever)
     client.send(pingRequest(1));
     EXPECT_THROW(client.receive(), FatalError);
     EXPECT_FALSE(client.connected()); // the stream position is unusable
+    ::close(listener);
+}
+
+TEST_F(ServeChaosTest, ConnectTimeoutBoundsTheHandshake)
+{
+    // A listener whose accept queue is full: further handshakes get no
+    // SYN-ACK and a blocking connect() would hang. With a connect
+    // timeout the client must give up quickly instead — this is what
+    // lets a dist coordinator probe a black-holed backend without
+    // stalling the fleet.
+    const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(listener, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(listener, 0), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    // Fill the accept queue (never accept()ed) so the victim's SYN is
+    // dropped. Backlog semantics vary, so over-fill generously with
+    // fire-and-forget non-blocking connects.
+    std::vector<int> fillers;
+    for (int i = 0; i < 8; ++i) {
+        const int fd =
+            ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                     0);
+        ASSERT_GE(fd, 0);
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+        fillers.push_back(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    Client client;
+    RetryPolicy retry;
+    retry.connectTimeoutMs = 100;
+    client.setRetryPolicy(retry);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(client.connect("127.0.0.1", port), FatalError);
+    const auto elapsed = std::chrono::duration_cast<
+        std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+    // Either the timeout fired (~100 ms) or the kernel refused outright;
+    // both are bounded. A blocking-connect hang (seconds of SYN
+    // retransmits) is the failure mode this guards against.
+    EXPECT_LT(elapsed.count(), 2'000);
+    EXPECT_FALSE(client.connected());
+
+    for (const int fd : fillers)
+        ::close(fd);
     ::close(listener);
 }
 

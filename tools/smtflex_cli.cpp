@@ -12,6 +12,7 @@
  *   smtflex sweep  --design 4B [--bench tonto | --het] [--no-smt]
  *   smtflex parsec --app ferret --design 20s --threads 16 [--throttle]
  *   smtflex serve  --port 7333 --jobs 8 [--queue N] [--cache FILE]
+ *   smtflex coordinator --port 7333 --backend H1:P1 --backend H2:P2
  *   smtflex stats  --addr HOST:PORT [--metrics]
  *
  * The run/sweep/isolated commands render through the same
@@ -30,6 +31,7 @@
 
 #include "common/env.h"
 #include "common/log.h"
+#include "dist/coordinator.h"
 #include "exec/thread_pool.h"
 #include "serve/client.h"
 #include "report/sim_report.h"
@@ -60,16 +62,29 @@ class Args
             if (key.rfind("--", 0) != 0)
                 fatal("unexpected argument '", key, "'");
             key = key.substr(2);
+            std::string value;
             if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-                values_[key] = argv[i + 1];
+                value = argv[i + 1];
                 ++i;
-            } else {
-                values_[key] = "";
             }
+            values_[key] = value;
+            ordered_.emplace_back(std::move(key), std::move(value));
         }
     }
 
     bool has(const std::string &key) const { return values_.count(key); }
+
+    /** Every value of a repeatable flag, in command-line order
+     * (`--backend a --backend b`). */
+    std::vector<std::string> all(const std::string &key) const
+    {
+        std::vector<std::string> out;
+        for (const auto &[k, v] : ordered_) {
+            if (k == key)
+                out.push_back(v);
+        }
+        return out;
+    }
 
     std::string
     get(const std::string &key, const std::string &fallback = "") const
@@ -97,7 +112,20 @@ class Args
 
   private:
     std::map<std::string, std::string> values_;
+    std::vector<std::pair<std::string, std::string>> ordered_;
 };
+
+/** Parse a HOST:PORT endpoint string, fatal() on malformed input. */
+std::pair<std::string, std::uint16_t>
+parseEndpoint(const std::string &addr, const char *what)
+{
+    const auto colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size())
+        fatal(what, " must be HOST:PORT, got '", addr, "'");
+    return {addr.substr(0, colon),
+            static_cast<std::uint16_t>(parseU64(
+                addr.substr(colon + 1), std::string(what) + " port"))};
+}
 
 /** StudyOptions from the environment plus the --cache override. */
 StudyOptions
@@ -115,6 +143,29 @@ designFromArgs(const Args &args)
     return serve::buildDesign(args.get("design", "4B"), args.has("no-smt"),
                               args.has("bw"), args.getDouble("bw", 8.0),
                               args.has("prefetch"));
+}
+
+/**
+ * With --addr HOST:PORT, execute the simulation op on a running serve
+ * (or coordinator) endpoint instead of locally and print the served
+ * text — which is byte-identical to the local rendering. Returns false
+ * when --addr is absent so the caller runs the local path.
+ */
+bool
+runRemotely(const Args &args, const serve::Request &request)
+{
+    if (!args.has("addr"))
+        return false;
+    const auto [host, port] = parseEndpoint(args.get("addr"), "--addr");
+    serve::Client client;
+    client.connect(host, port);
+    const serve::Json reply =
+        client.call(serve::Json::parse(request.canonicalKey()));
+    if (!reply.at("ok").asBool())
+        fatal("server error: ", reply.at("error").asString(), ": ",
+              reply.at("message").asString());
+    std::fputs(reply.at("output").asString().c_str(), stdout);
+    return true;
 }
 
 int
@@ -174,6 +225,11 @@ cmdIsolated(int argc, char **argv)
         req.benches.push_back(argv[i]);
     }
     const Args args(argc, argv, firstFlag);
+    serve::Request wire;
+    wire.op = serve::Op::kIsolated;
+    wire.isolated = req;
+    if (runRemotely(args, wire))
+        return 0;
     StudyEngine eng(studyOptionsFromArgs(args));
     std::fputs(serve::isolatedText(eng, req).c_str(), stdout);
     return 0;
@@ -199,6 +255,11 @@ cmdRun(const Args &args)
     req.bw = args.getDouble("bw", 8.0);
     req.report = args.get("report", "");
 
+    serve::Request wire;
+    wire.op = serve::Op::kRun;
+    wire.run = req;
+    if (runRemotely(args, wire))
+        return 0;
     StudyEngine eng(studyOptionsFromArgs(args));
     std::fputs(serve::runText(eng, req).c_str(), stdout);
     return 0;
@@ -215,6 +276,11 @@ cmdSweep(const Args &args)
     req.hasBw = args.has("bw");
     req.bw = args.getDouble("bw", 8.0);
 
+    serve::Request wire;
+    wire.op = serve::Op::kSweep;
+    wire.sweep = req;
+    if (runRemotely(args, wire))
+        return 0;
     StudyEngine eng(studyOptionsFromArgs(args));
     std::fputs(serve::sweepText(eng, req).c_str(), stdout);
     return 0;
@@ -315,6 +381,76 @@ cmdServe(const Args &args)
 }
 
 /**
+ * The distributed sweep fabric's front end: a server speaking the same
+ * wire protocol as `serve`, sharding sweeps across --backend fleet
+ * members and federating their result caches. With no --backend it is
+ * an ordinary single-node server.
+ */
+int
+cmdCoordinator(const Args &args)
+{
+    if (args.has("jobs"))
+        exec::ThreadPool::configureGlobal(
+            static_cast<unsigned>(args.getInt("jobs", 0)));
+
+    dist::CoordinatorOptions opts;
+    opts.server.host = args.get("host", opts.server.host);
+    opts.server.port = static_cast<std::uint16_t>(args.getInt("port", 7333));
+    opts.server.queueCapacity = args.getInt("queue", 0);
+    opts.server.batchMax = args.getInt("batch", 0);
+    opts.server.maxFrame = args.getInt("max-frame", serve::kDefaultMaxFrame);
+    opts.server.drainTimeoutMs =
+        args.getInt("drain-timeout", opts.server.drainTimeoutMs);
+    opts.server.study = StudyOptions::fromEnv();
+    if (args.has("cache"))
+        opts.server.study.cachePath = args.get("cache");
+
+    for (const std::string &addr : args.all("backend")) {
+        const auto [host, port] = parseEndpoint(addr, "--backend");
+        opts.backends.push_back({host, port});
+    }
+    opts.chunkRows = args.getInt("chunk-rows", opts.chunkRows);
+    opts.stealAfterMs = args.getInt("steal-after-ms", opts.stealAfterMs);
+    opts.maxDispatch =
+        static_cast<unsigned>(args.getInt("max-dispatch", opts.maxDispatch));
+    opts.pool.quarantineAfter = static_cast<unsigned>(
+        args.getInt("quarantine-after", opts.pool.quarantineAfter));
+    opts.pool.probeTimeoutMs =
+        args.getInt("probe-timeout-ms", opts.pool.probeTimeoutMs);
+    opts.pool.opTimeoutMs =
+        args.getInt("op-timeout-ms", opts.pool.opTimeoutMs);
+    opts.pool.connectTimeoutMs =
+        args.getInt("connect-timeout-ms", opts.pool.connectTimeoutMs);
+
+    dist::Coordinator coordinator(opts);
+    coordinator.bind();
+    serve::Server::installSignalHandlers(&coordinator.server());
+    std::printf("smtflex coordinator: listening on %s:%u, %zu backend(s), "
+                "cache %s\n",
+                opts.server.host.c_str(), coordinator.port(),
+                opts.backends.size(),
+                opts.server.study.cachePath.empty()
+                    ? "(in-memory)"
+                    : opts.server.study.cachePath.c_str());
+    std::fflush(stdout);
+    coordinator.run();
+    const auto &stats = coordinator.stats();
+    std::printf("smtflex coordinator: drained; %llu sweeps, %llu chunks "
+                "dispatched (%llu stolen, %llu requeued), %llu forwarded "
+                "(%llu failovers)\n",
+                static_cast<unsigned long long>(stats.sweeps.load()),
+                static_cast<unsigned long long>(
+                    stats.chunksDispatched.load()),
+                static_cast<unsigned long long>(stats.chunksStolen.load()),
+                static_cast<unsigned long long>(
+                    stats.chunksRequeued.load()),
+                static_cast<unsigned long long>(stats.forwarded.load()),
+                static_cast<unsigned long long>(
+                    stats.forwardFailovers.load()));
+    return 0;
+}
+
+/**
  * Query a running `smtflex serve` instance without hand-writing frames:
  * prints the stats op's counters as sorted `key value` lines, or with
  * --metrics the full registry in Prometheus exposition format.
@@ -358,18 +494,26 @@ usage()
         "usage: smtflex <command> [options]\n"
         "  designs                       list the multi-core designs\n"
         "  benchmarks                    list the workload models\n"
-        "  isolated [bench...] [--cache FILE]\n"
+        "  isolated [bench...] [--cache FILE] [--addr HOST:PORT]\n"
         "                                isolated IPC per core type\n"
         "  run    --design D --workload a,b,c [--no-smt] [--budget N]\n"
         "         [--warmup N] [--seed N] [--bw G] [--prefetch]\n"
         "         [--naive-sched] [--report text|csv-threads|csv-cores]\n"
-        "         [--cache FILE]\n"
+        "         [--cache FILE] [--addr HOST:PORT]\n"
         "  sweep  --design D [--bench b | --het] [--no-smt] [--bw G]\n"
+        "         [--addr HOST:PORT]    (--addr: execute on a running\n"
+        "                                serve/coordinator endpoint)\n"
         "  parsec --app A --design D --threads N [--throttle] [--no-smt]\n"
         "  trace  --bench b --out file [--count N] [--seed N]\n"
         "  serve  [--port N] [--host A] [--jobs N] [--queue N]\n"
         "         [--batch N] [--max-frame N] [--drain-timeout MS]\n"
         "         [--cache FILE]\n"
+        "  coordinator [--backend HOST:PORT ...] [serve options]\n"
+        "         [--chunk-rows N] [--steal-after-ms N] [--max-dispatch N]\n"
+        "         [--quarantine-after N] [--probe-timeout-ms N]\n"
+        "         [--op-timeout-ms N] [--connect-timeout-ms N]\n"
+        "                                serve the same protocol, sharding\n"
+        "                                sweeps across a backend fleet\n"
         "  stats  --addr HOST:PORT [--metrics]\n"
         "                                query a running server's counters\n"
         "                                (--metrics: Prometheus exposition)\n");
@@ -402,6 +546,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "coordinator")
+            return cmdCoordinator(args);
         if (cmd == "stats")
             return cmdStats(args);
     } catch (const FatalError &e) {

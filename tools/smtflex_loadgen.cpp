@@ -12,6 +12,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/env.h"
 #include "common/log.h"
@@ -29,6 +30,9 @@ usage()
         "usage: smtflex_loadgen [options]\n"
         "  --host A          server address (default 127.0.0.1)\n"
         "  --port N          server port (default 7333)\n"
+        "  --addr HOST:PORT  target endpoint; repeat to spread the\n"
+        "                    connections round-robin over a fleet\n"
+        "                    (overrides --host/--port)\n"
         "  --connections N   concurrent connections (default 8)\n"
         "  --requests N      requests per connection (default 50)\n"
         "  --seed N          request-sequence seed (default 1)\n"
@@ -56,6 +60,7 @@ int
 main(int argc, char **argv)
 {
     std::map<std::string, std::string> flags;
+    std::vector<std::string> addrs; // --addr accumulates, unlike the rest
     for (int i = 1; i < argc; ++i) {
         std::string key = argv[i];
         if (key.rfind("--", 0) != 0)
@@ -63,10 +68,13 @@ main(int argc, char **argv)
         key = key.substr(2);
         if (key == "help")
             return usage();
+        std::string value;
         if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
-            flags[key] = argv[++i];
+            value = argv[++i];
+        if (key == "addr")
+            addrs.push_back(value);
         else
-            flags[key] = "";
+            flags[key] = value;
     }
 
     try {
@@ -83,6 +91,15 @@ main(int argc, char **argv)
         };
         options.host = str("host", options.host);
         options.port = static_cast<std::uint16_t>(num("port", options.port));
+        for (const std::string &addr : addrs) {
+            const auto colon = addr.rfind(':');
+            if (colon == std::string::npos || colon == 0)
+                fatal("loadgen: --addr '", addr, "' is not HOST:PORT");
+            options.targets.emplace_back(
+                addr.substr(0, colon),
+                static_cast<std::uint16_t>(
+                    parseU64(addr.substr(colon + 1), "--addr port")));
+        }
         options.connections =
             static_cast<unsigned>(num("connections", options.connections));
         options.requestsPerConnection = static_cast<unsigned>(
