@@ -70,6 +70,7 @@ Coordinator::execute(const serve::Request &request)
         return coordinateSweep(request.sweep);
       case serve::Op::kRun:
       case serve::Op::kIsolated:
+      case serve::Op::kSchedule:
         return forward(request);
       default:
         fatal("dist: simExecutor invoked for op ",
@@ -334,6 +335,13 @@ Coordinator::forward(const serve::Request &request)
         serve::Json body = serve::makeResponse(serve::Op::kRun);
         body.set("output",
                  serve::Json::string(serve::runText(engine, request.run)));
+        return body;
+    }
+    if (request.op == serve::Op::kSchedule) {
+        serve::Json body = serve::makeResponse(serve::Op::kSchedule);
+        body.set("output",
+                 serve::Json::string(
+                     serve::scheduleText(engine, request.schedule)));
         return body;
     }
     serve::Json body = serve::makeResponse(serve::Op::kIsolated);

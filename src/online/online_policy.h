@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Online thread-to-core allocation policies (DESIGN.md §14): turn an
+ * OnlineProfile (sampled counters) into a Placement the existing sim
+ * entry points consume, re-evaluating with hysteresis and a migration
+ * cost model when asked.
+ *
+ * The policy family mirrors the UPV allocation-policy papers:
+ *  - greedy:     rank by sampled big-core affinity, fill big cores first
+ *                (no co-schedule awareness);
+ *  - pairing:    the oracle's own rank-and-serpentine algorithm
+ *                (sched::scheduleByRank) driven by sampled affinity and
+ *                sampled memory intensity — complementary threads share
+ *                an SMT core;
+ *  - hysteresis: pairing re-evaluated over progressively longer sample
+ *                epochs; a new placement is only adopted when its
+ *                predicted STP beats the incumbent by a damping margin
+ *                plus a per-thread migration cost;
+ *  - measured:   SYNPA-style sample-and-pick — run one measured quantum
+ *                of the whole mix over the decision horizon under each
+ *                candidate placement (the naive baseline, greedy and
+ *                pairing); a challenger only displaces the incumbent
+ *                when it dominates: strictly higher measured STP at no
+ *                measured-ANTT cost. Because the baseline leads the
+ *                candidate set, the decision never loses either metric
+ *                to scheduling naively — isolated-affinity rankings
+ *                can, when co-run interference inverts them.
+ *
+ * Everything is deterministic: samples are deterministic simulations,
+ * every sort is stable, and the decision is a pure function of
+ * (options, config, workload) — which is what lets the serve layer
+ * memoise decisions and the coordinator forward them with byte-identical
+ * responses.
+ */
+
+#ifndef SMTFLEX_ONLINE_ONLINE_POLICY_H
+#define SMTFLEX_ONLINE_ONLINE_POLICY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "online/online_profiler.h"
+#include "sim/chip_config.h"
+#include "sim/chip_sim.h"
+
+namespace smtflex {
+namespace online {
+
+/** Monotonically increasing online-scheduling counters, registered under
+ * `sched.*` (telemetry::attachCounters). */
+struct SchedStats
+{
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<std::uint64_t> migrations{0};
+    std::atomic<std::uint64_t> reclassifications{0};
+    std::atomic<std::uint64_t> quantaSampled{0};
+    std::atomic<std::uint64_t> samplesRun{0};
+
+    /** The telemetry field list (names are the `sched.*` leaf paths). */
+    template <typename F>
+    static void forEachCounter(F &&f)
+    {
+        f("decisions", &SchedStats::decisions);
+        f("migrations", &SchedStats::migrations);
+        f("reclassifications", &SchedStats::reclassifications);
+        f("quanta_sampled", &SchedStats::quantaSampled);
+        f("samples_run", &SchedStats::samplesRun);
+    }
+};
+
+/** A placement policy over sampled profiles. */
+class OnlinePolicy
+{
+  public:
+    virtual ~OnlinePolicy() = default;
+    virtual const char *name() const = 0;
+    virtual Placement place(const ChipConfig &config,
+                            const OnlineProfile &profile) const = 0;
+};
+
+/** Highest sampled big-core affinity takes the next slot in fill order. */
+class GreedyBigFirstPolicy : public OnlinePolicy
+{
+  public:
+    const char *name() const override { return "greedy"; }
+    Placement place(const ChipConfig &config,
+                    const OnlineProfile &profile) const override;
+};
+
+/** The oracle's rank-and-serpentine algorithm on sampled inputs. */
+class PairingPolicy : public OnlinePolicy
+{
+  public:
+    const char *name() const override { return "pairing"; }
+    Placement place(const ChipConfig &config,
+                    const OnlineProfile &profile) const override;
+};
+
+/** Valid policy names, canonical order: greedy, pairing, hysteresis,
+ * measured. */
+const std::vector<std::string> &onlinePolicyNames();
+
+/** True iff @p name is a valid policy name. */
+bool isOnlinePolicy(const std::string &name);
+
+/**
+ * Predicted system throughput of @p placement under @p profile: each
+ * thread contributes its sampled IPC on its core's type, normalised to
+ * its sampled big-core IPC, discounted by an SMT/time-sharing factor of
+ * 1/(1 + 0.4 (k - 1)) for k threads on the core. A model, not a
+ * simulation — it ranks candidate placements for the hysteresis damper
+ * and gives the serve op its predicted STP/ANTT.
+ */
+double predictStp(const ChipConfig &config, const OnlineProfile &profile,
+                  const Placement &placement);
+
+/** Predicted average normalised turnaround time (same model). */
+double predictAntt(const ChipConfig &config, const OnlineProfile &profile,
+                   const Placement &placement);
+
+/** Knobs of a full online scheduling decision. */
+struct OnlineOptions
+{
+    ProfilerOptions profiler;
+    ClassifierThresholds thresholds;
+    /** greedy | pairing | hysteresis | measured. */
+    std::string policy = "pairing";
+    /** Hysteresis: sample epochs (budget doubles each epoch up to
+     * profiler.sampleBudget); other policies decide in one epoch. */
+    std::uint32_t epochs = 3;
+    /** Hysteresis: min relative predicted-STP gain to migrate. */
+    double hysteresisMargin = 0.02;
+    /** Hysteresis: predicted-STP cost per migrated thread. */
+    double migrationCostStp = 0.005;
+};
+
+/** The product of a decision: the placement plus everything a caller
+ * (serve op, study figure, tests) wants to report about how it was
+ * reached. */
+struct OnlineDecision
+{
+    Placement placement;
+    OnlineProfile profile; ///< final epoch's profile (classes included)
+    std::string policy;
+    double predictedStp = 0.0;
+    double predictedAntt = 0.0;
+    std::uint32_t epochs = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t reclassifications = 0;
+    std::uint64_t quantaSampled = 0;
+    std::uint64_t samplesRun = 0;
+};
+
+/**
+ * The sample -> classify -> place -> re-evaluate loop. Stateless between
+ * decide() calls apart from the shared stats sink; safe to call from
+ * multiple threads.
+ */
+class OnlineScheduler
+{
+  public:
+    explicit OnlineScheduler(OnlineOptions options,
+                             SchedStats *stats = nullptr);
+
+    const OnlineOptions &options() const { return options_; }
+
+    /** Decide a placement for @p specs on @p config. */
+    OnlineDecision decide(const ChipConfig &config,
+                          const std::vector<ThreadSpec> &specs) const;
+
+  private:
+    OnlineOptions options_;
+    SchedStats *stats_;
+};
+
+} // namespace online
+} // namespace smtflex
+
+#endif // SMTFLEX_ONLINE_ONLINE_POLICY_H

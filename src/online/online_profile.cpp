@@ -1,0 +1,96 @@
+#include "online_profile.h"
+
+#include "common/log.h"
+
+namespace smtflex {
+namespace online {
+
+const char *
+threadClassName(ThreadClass klass)
+{
+    switch (klass) {
+      case ThreadClass::kMemoryBound:
+        return "memory";
+      case ThreadClass::kMixed:
+        return "mixed";
+      case ThreadClass::kIlpBound:
+        return "ilp";
+    }
+    return "mixed";
+}
+
+bool
+ThreadProfile::has(CoreType type) const
+{
+    return samples.count(type) > 0;
+}
+
+const TypeSample &
+ThreadProfile::sample(CoreType type) const
+{
+    const auto it = samples.find(type);
+    if (it == samples.end())
+        fatal("ThreadProfile: ", benchmark, " was never sampled on ",
+              coreTypeTag(type), " cores");
+    return it->second;
+}
+
+double
+ThreadProfile::bigAffinity() const
+{
+    const double small_ipc = sample(CoreType::kSmall).ipc;
+    if (small_ipc <= 0.0)
+        fatal("ThreadProfile: ", benchmark, " sampled zero small-core IPC");
+    return sample(CoreType::kBig).ipc / small_ipc;
+}
+
+double
+ThreadProfile::memIntensity() const
+{
+    return sample(CoreType::kBig).llcMpki;
+}
+
+ThreadClass
+classify(const ThreadProfile &profile, const ClassifierThresholds &thresholds)
+{
+    const TypeSample &big = profile.sample(CoreType::kBig);
+    if (big.llcMpki >= thresholds.memoryLlcMpki)
+        return ThreadClass::kMemoryBound;
+    if (big.ipc >= thresholds.ilpIpc)
+        return ThreadClass::kIlpBound;
+    return ThreadClass::kMixed;
+}
+
+std::uint64_t
+OnlineProfile::quantaSampled() const
+{
+    std::uint64_t total = 0;
+    for (const auto &thread : threads) {
+        for (const auto &[type, sample] : thread.samples)
+            total += sample.quanta;
+    }
+    return total;
+}
+
+std::vector<double>
+OnlineProfile::affinities() const
+{
+    std::vector<double> out;
+    out.reserve(threads.size());
+    for (const auto &thread : threads)
+        out.push_back(thread.bigAffinity());
+    return out;
+}
+
+std::vector<double>
+OnlineProfile::memIntensities() const
+{
+    std::vector<double> out;
+    out.reserve(threads.size());
+    for (const auto &thread : threads)
+        out.push_back(thread.memIntensity());
+    return out;
+}
+
+} // namespace online
+} // namespace smtflex

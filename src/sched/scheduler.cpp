@@ -107,19 +107,17 @@ staticBigAffinity(const BenchmarkProfile &profile)
 } // namespace
 
 Placement
-scheduleOffline(const ChipConfig &config,
-                const std::vector<ThreadSpec> &specs,
-                const OfflineProfile &offline)
+scheduleByRank(const ChipConfig &config,
+               const std::vector<double> &affinity,
+               const std::vector<double> &mem_intensity)
 {
-    if (specs.empty())
-        fatal("scheduleOffline: no threads");
-    for (const auto &spec : specs) {
-        if (!spec.profile)
-            fatal("scheduleOffline: thread without profile");
-    }
+    if (affinity.empty())
+        fatal("scheduleByRank: no threads");
+    if (affinity.size() != mem_intensity.size())
+        fatal("scheduleByRank: affinity/mem_intensity size mismatch");
 
     const auto order = slotFillOrder(config);
-    const std::size_t n = specs.size();
+    const std::size_t n = affinity.size();
 
     // Slots actually used this run (wrap into time-sharing if needed).
     std::vector<Placement::Entry> used;
@@ -130,17 +128,9 @@ scheduleOffline(const ChipConfig &config,
     // Rank threads: most big-core-affine first.
     std::vector<std::size_t> thread_rank(n);
     std::iota(thread_rank.begin(), thread_rank.end(), std::size_t{0});
-    auto affinity = [&](std::size_t t) {
-        const auto &profile = *specs[t].profile;
-        if (offline.has(profile.name, CoreType::kBig) &&
-            offline.has(profile.name, CoreType::kSmall)) {
-            return offline.bigAffinity(profile.name);
-        }
-        return staticBigAffinity(profile);
-    };
     std::stable_sort(thread_rank.begin(), thread_rank.end(),
                      [&](std::size_t a, std::size_t b) {
-                         return affinity(a) > affinity(b);
+                         return affinity[a] > affinity[b];
                      });
 
     // Order the used slots by core type (big first), keeping per-core
@@ -178,8 +168,7 @@ scheduleOffline(const ChipConfig &config,
         next_thread += class_slots;
         std::stable_sort(class_threads.begin(), class_threads.end(),
                          [&](std::size_t a, std::size_t b) {
-                             return memoryIntensity(*specs[a].profile) >
-                                    memoryIntensity(*specs[b].profile);
+                             return mem_intensity[a] > mem_intensity[b];
                          });
 
         // Distinct cores of this class, in slot order.
@@ -223,6 +212,35 @@ scheduleOffline(const ChipConfig &config,
         i = j;
     }
     return placement;
+}
+
+Placement
+scheduleOffline(const ChipConfig &config,
+                const std::vector<ThreadSpec> &specs,
+                const OfflineProfile &offline)
+{
+    if (specs.empty())
+        fatal("scheduleOffline: no threads");
+    for (const auto &spec : specs) {
+        if (!spec.profile)
+            fatal("scheduleOffline: thread without profile");
+    }
+
+    std::vector<double> affinity;
+    std::vector<double> mem;
+    affinity.reserve(specs.size());
+    mem.reserve(specs.size());
+    for (const auto &spec : specs) {
+        const auto &profile = *spec.profile;
+        if (offline.has(profile.name, CoreType::kBig) &&
+            offline.has(profile.name, CoreType::kSmall)) {
+            affinity.push_back(offline.bigAffinity(profile.name));
+        } else {
+            affinity.push_back(staticBigAffinity(profile));
+        }
+        mem.push_back(memoryIntensity(*spec.profile));
+    }
+    return scheduleByRank(config, affinity, mem);
 }
 
 } // namespace smtflex

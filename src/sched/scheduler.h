@@ -66,6 +66,23 @@ std::vector<Placement::Entry> slotFillOrder(const ChipConfig &config);
 Placement scheduleNaive(const ChipConfig &config, std::size_t num_threads);
 
 /**
+ * Rank-driven placement shared by the offline oracle and the online
+ * policies (smtflex::online):
+ *  - slots are allocated in fill order;
+ *  - threads with the highest @p affinity get the big-core slots;
+ *  - within a core type, threads are dealt serpentine by
+ *    @p mem_intensity so each core co-schedules memory-intensive with
+ *    compute-intensive threads (symbiotic SMT co-scheduling).
+ *
+ * Both vectors are indexed by thread; all sorts are stable, so equal
+ * scores preserve submission order. An online policy that feeds this the
+ * oracle's scores reproduces the oracle's placement exactly.
+ */
+Placement scheduleByRank(const ChipConfig &config,
+                         const std::vector<double> &affinity,
+                         const std::vector<double> &mem_intensity);
+
+/**
  * Offline-analysis placement (the paper's methodology):
  *  - slots are allocated in fill order;
  *  - programs with the highest big-core affinity get the big-core slots;

@@ -8,6 +8,8 @@
 #include "common/log.h"
 #include "exec/experiment_runner.h"
 #include "metrics/metrics.h"
+#include "online/online_policy.h"
+#include "online/online_profile.h"
 #include "report/sim_report.h"
 #include "sched/scheduler.h"
 #include "sim/chip_sim.h"
@@ -48,6 +50,17 @@ knownBenchmark(const std::string &name)
     // Anything specProfile() resolves (selected or extended suite) is
     // valid, matching what the CLI always accepted.
     for (const auto &known : specAllBenchmarkNames()) {
+        if (known == name)
+            return true;
+    }
+    return false;
+}
+
+bool
+knownMixableBenchmark(const std::string &name)
+{
+    // schedule mixes accept PARSEC worker kernels alongside SPEC.
+    for (const auto &known : mixableBenchmarkNames()) {
         if (known == name)
             return true;
     }
@@ -123,6 +136,26 @@ validateIsolated(const IsolatedRequest &req)
         if (!knownBenchmark(bench))
             fatal("isolated: unknown benchmark '", bench,
                   "' (see `smtflex benchmarks`)");
+    }
+}
+
+void
+validateSchedule(const ScheduleRequest &req)
+{
+    buildDesign(req.design, req.noSmt, req.hasBw, req.bw, false);
+    if (req.benchmarks.empty())
+        fatal("schedule: --benchmarks bench1,bench2,... required");
+    for (const auto &bench : req.benchmarks) {
+        if (!knownMixableBenchmark(bench))
+            fatal("schedule: unknown benchmark '", bench,
+                  "' (SPEC or PARSEC kernel; see `smtflex benchmarks`)");
+    }
+    if (!online::isOnlinePolicy(req.policy)) {
+        std::string known;
+        for (const auto &name : online::onlinePolicyNames())
+            known += (known.empty() ? "" : ", ") + name;
+        fatal("schedule: unknown policy '", req.policy, "' (expected ",
+              known, ")");
     }
 }
 
@@ -283,6 +316,39 @@ isolatedText(StudyEngine &engine, const IsolatedRequest &req)
                 benches[i].c_str(), r.big, r.medium, r.small,
                 r.big / r.medium, r.big / r.small);
     }
+    return out;
+}
+
+std::string
+scheduleText(StudyEngine &engine, const ScheduleRequest &req)
+{
+    validateSchedule(req);
+    const ChipConfig cfg =
+        buildDesign(req.design, req.noSmt, req.hasBw, req.bw, false);
+    const MultiProgramWorkload mix = mixWorkload(req.benchmarks);
+    const PlacementDecision decision =
+        engine.decidePlacement(cfg, mix, req.policy);
+
+    std::string out;
+    appendf(out, "design %s, policy %s, %zu threads\n\n", cfg.name.c_str(),
+            req.policy.c_str(), mix.size());
+    appendf(out, "%-14s %-8s %6s %6s %-8s\n", "program", "class", "core",
+            "slot", "type");
+    for (std::size_t i = 0; i < mix.programs.size(); ++i) {
+        const std::uint32_t core = decision.placement.entries[i].core;
+        appendf(out, "%-14s %-8s %6u %6u %-8s\n",
+                mix.programs[i]->name.c_str(),
+                online::threadClassName(decision.classes[i]), core,
+                decision.placement.entries[i].slot,
+                coreTypeTag(cfg.cores[core].type));
+    }
+    appendf(out,
+            "\npredicted STP %.3f | predicted ANTT %.3f\n"
+            "epochs %u | migrations %.0f | reclassifications %.0f | "
+            "quanta sampled %.0f | samples run %.0f\n",
+            decision.predictedStp, decision.predictedAntt, decision.epochs,
+            decision.migrations, decision.reclassifications,
+            decision.quantaSampled, decision.samplesRun);
     return out;
 }
 

@@ -57,6 +57,22 @@ struct IsolatedRequest
 };
 
 /**
+ * Parameters of a `schedule` command (online thread-to-core placement;
+ * DESIGN.md §14). Sample budgets, warmup and seed are governed by the
+ * engine's StudyOptions — like sweep, the decision is a pure function of
+ * (StudyOptions, design, mix, policy), which keeps it memoisable.
+ */
+struct ScheduleRequest
+{
+    std::string design = "4B";
+    std::vector<std::string> benchmarks; ///< SPEC or PARSEC names, >= 1
+    std::string policy = "pairing";      ///< onlinePolicyNames() member
+    bool noSmt = false;
+    bool hasBw = false;
+    double bw = 8.0;
+};
+
+/**
  * Resolve a design name against the paper and alternative design sets and
  * apply the request-level config switches; fatal() on unknown names.
  */
@@ -68,11 +84,13 @@ ChipConfig buildDesign(const std::string &name, bool no_smt, bool has_bw,
 void validateRun(const RunRequest &req);
 void validateSweep(const SweepRequest &req);
 void validateIsolated(const IsolatedRequest &req);
+void validateSchedule(const ScheduleRequest &req);
 
 /** Render the command output (identical to the CLI's stdout text). */
 std::string runText(StudyEngine &engine, const RunRequest &req);
 std::string sweepText(StudyEngine &engine, const SweepRequest &req);
 std::string isolatedText(StudyEngine &engine, const IsolatedRequest &req);
+std::string scheduleText(StudyEngine &engine, const ScheduleRequest &req);
 
 /**
  * Compute the sweep rows named by @p rows (same dispatch as sweepText:

@@ -9,6 +9,7 @@
 #include "common/env.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "online/online_policy.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "trace/spec_profiles.h"
@@ -38,7 +39,8 @@ expandMix(const std::string &mix)
             fatal("loadgen: mix entry '", token, "' is not op=weight");
         const std::string op = token.substr(0, eq);
         if (op != "ping" && op != "stats" && op != "metrics" &&
-            op != "run" && op != "sweep" && op != "isolated")
+            op != "run" && op != "sweep" && op != "isolated" &&
+            op != "schedule")
             fatal("loadgen: unknown op '", op, "' in mix");
         const std::uint64_t weight =
             parseU64(token.substr(eq + 1), "mix weight for '" + op + "'");
@@ -181,6 +183,22 @@ loadgenRequestPool(const LoadGenOptions &options)
             list.push(Json::string(benches[rng.nextRange(benches.size())]));
         isolated.set("benches", std::move(list));
         pool.push_back(std::move(isolated));
+
+        Json schedule = Json::object();
+        schedule.set("op", Json::string("schedule"));
+        schedule.set("design",
+                     Json::string(designPool()[rng.nextRange(
+                         designPool().size())]));
+        const std::size_t mix_size = 2 + rng.nextRange(3);
+        Json mix_list = Json::array();
+        for (std::size_t i = 0; i < mix_size; ++i)
+            mix_list.push(
+                Json::string(benches[rng.nextRange(benches.size())]));
+        schedule.set("benchmarks", std::move(mix_list));
+        const auto &policies = online::onlinePolicyNames();
+        schedule.set("policy",
+                     Json::string(policies[rng.nextRange(policies.size())]));
+        pool.push_back(std::move(schedule));
     }
     return pool;
 }
@@ -218,10 +236,13 @@ runLoadGen(const LoadGenOptions &options)
     const std::vector<std::string> mix = expandMix(options.mix);
 
     // Group pool entries by op for the weighted pick.
-    std::vector<std::size_t> runs, sweeps, isolateds;
+    std::vector<std::size_t> runs, sweeps, isolateds, schedules;
     for (std::size_t i = 0; i < pool.size(); ++i) {
         const std::string &op = pool[i].at("op").asString();
-        (op == "run" ? runs : op == "sweep" ? sweeps : isolateds)
+        (op == "run"        ? runs
+             : op == "sweep"    ? sweeps
+             : op == "schedule" ? schedules
+                                : isolateds)
             .push_back(i);
     }
 
@@ -312,13 +333,15 @@ runLoadGen(const LoadGenOptions &options)
                     } else {
                         const auto &indices = op == "run" ? runs
                             : op == "sweep"               ? sweeps
+                            : op == "schedule"            ? schedules
                                                           : isolateds;
                         doc = pool[indices[rng.nextRange(indices.size())]];
                     }
                     doc.set("id",
                             Json::number(std::uint64_t{c} * 1'000'000 + i));
                     if (options.deadlineMs &&
-                        (op == "run" || op == "sweep" || op == "isolated"))
+                        (op == "run" || op == "sweep" ||
+                         op == "isolated" || op == "schedule"))
                         doc.set("deadline_ms",
                                 Json::number(options.deadlineMs));
 

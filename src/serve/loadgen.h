@@ -41,8 +41,8 @@ struct LoadGenOptions
     std::uint64_t seed = 1;
     /**
      * Request mix as `op=weight` pairs, e.g. "ping=2,run=4,sweep=1,
-     * isolated=1". Weights are relative integers; ops with weight 0 are
-     * never sent.
+     * isolated=1,schedule=1". Weights are relative integers; ops with
+     * weight 0 are never sent.
      */
     std::string mix = "ping=2,run=4,sweep=1,isolated=1";
     /** deadline_ms attached to every simulation request (0 = none). */

@@ -80,6 +80,8 @@ opName(Op op)
         return "cache_push";
       case Op::kSweepChunk:
         return "sweep_chunk";
+      case Op::kSchedule:
+        return "schedule";
     }
     return "?";
 }
@@ -250,12 +252,23 @@ parseRequest(const Json &doc)
         }
         if (req.chunk.rows.empty())
             fatal("sweep_chunk: 'rows' must not be empty");
+    } else if (op == "schedule") {
+        req.op = Op::kSchedule;
+        req.schedule.design =
+            fieldString(doc, "design", req.schedule.design);
+        req.schedule.benchmarks = fieldStringList(doc, "benchmarks");
+        req.schedule.policy =
+            fieldString(doc, "policy", req.schedule.policy);
+        req.schedule.noSmt = fieldBool(doc, "no_smt", false);
+        req.schedule.hasBw = doc.has("bw");
+        req.schedule.bw = fieldDouble(doc, "bw", req.schedule.bw);
+        validateSchedule(req.schedule);
     } else if (op.empty()) {
         fatal("request is missing the 'op' member");
     } else {
         fatal("unknown op '", op,
               "' (expected ping, stats, metrics, run, sweep, isolated, "
-              "cache_pull, cache_push or sweep_chunk)");
+              "cache_pull, cache_push, sweep_chunk or schedule)");
     }
     return req;
 }
@@ -322,6 +335,19 @@ Request::canonicalKey() const
         for (const std::uint32_t n : chunk.rows)
             rows.push(Json::number(std::uint64_t{n}));
         doc.set("rows", std::move(rows));
+        break;
+      }
+      case Op::kSchedule: {
+        doc.set("op", Json::string("schedule"));
+        doc.set("design", Json::string(schedule.design));
+        Json benchmarks = Json::array();
+        for (const auto &bench : schedule.benchmarks)
+            benchmarks.push(Json::string(bench));
+        doc.set("benchmarks", std::move(benchmarks));
+        doc.set("policy", Json::string(schedule.policy));
+        doc.set("no_smt", Json::boolean(schedule.noSmt));
+        if (schedule.hasBw)
+            doc.set("bw", Json::number(schedule.bw));
         break;
       }
     }

@@ -39,6 +39,12 @@
  *                                        ResultCache records instead of
  *                                        rendered text — the unit of work
  *                                        the dist coordinator shards
+ *   {"op":"schedule","design":"3B5s","benchmarks":["mcf","hmmer"],
+ *    "policy":"pairing"}                 online thread-to-core placement
+ *                                        for the mix (DESIGN.md §14):
+ *                                        sample, classify, place; replies
+ *                                        with the placement table and
+ *                                        predicted STP/ANTT as text
  *
  * Common optional members: "id" (u64, echoed verbatim in the reply so
  * clients may pipeline), "deadline_ms" (u64; the request is answered with
@@ -119,6 +125,7 @@ enum class Op
     kCachePull,
     kCachePush,
     kSweepChunk,
+    kSchedule,
 };
 
 /** Printable verb name (as used on the wire). */
@@ -159,6 +166,7 @@ struct Request
     CachePullRequest cachePull;
     CachePushRequest cachePush;
     SweepChunkRequest chunk;
+    ScheduleRequest schedule;
 
     /**
      * Canonical identity of the simulation this request asks for, used

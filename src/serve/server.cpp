@@ -75,6 +75,8 @@ Server::registerMetrics()
     // statsBody() is a subtree walk, so renaming one here renames it on
     // the wire.
     telemetry::attachCounters(registry_, "serve", stats_);
+    // Online-scheduling decision counters (the schedule op's engine path).
+    telemetry::attachCounters(registry_, "sched", engine_.schedStats());
     registry_.gauge("serve.queue_depth",
                     [this] { return std::uint64_t{queue_->size()}; });
     registry_.gauge("serve.queue_capacity",
@@ -754,7 +756,8 @@ Server::executeJob(const Job &job)
         Json body;
         const bool delegated = options_.simExecutor &&
             (job.request.op == Op::kRun || job.request.op == Op::kSweep ||
-             job.request.op == Op::kIsolated);
+             job.request.op == Op::kIsolated ||
+             job.request.op == Op::kSchedule);
         if (delegated) {
             // Coordinator mode: the dist layer answers the simulation
             // ops (sharding them across backends) while this server
@@ -787,6 +790,13 @@ Server::executeJob(const Job &job)
                 body.set("output",
                          Json::string(
                              isolatedText(engine_, job.request.isolated)));
+                completion.cacheable = true;
+                break;
+              case Op::kSchedule:
+                body = makeResponse(Op::kSchedule);
+                body.set("output",
+                         Json::string(
+                             scheduleText(engine_, job.request.schedule)));
                 completion.cacheable = true;
                 break;
               case Op::kSweepChunk: {

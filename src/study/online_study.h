@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The online-scheduling figure (DESIGN.md §14, EXPERIMENTS.md): how close
+ * do the counter-driven online policies get to the paper's offline-oracle
+ * placement? For each (design, mix) the figure runs the same workload
+ * under NaiveScheduler, the OfflineScheduler oracle, and every online
+ * policy, and reports simulated STP/ANTT side by side. Everything is
+ * memoised through the engine's ResultCache, so the figure reproduces
+ * from the committed seed cache without simulating.
+ */
+
+#ifndef SMTFLEX_STUDY_ONLINE_STUDY_H
+#define SMTFLEX_STUDY_ONLINE_STUDY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "study/study_engine.h"
+#include "workload/multiprogram.h"
+
+namespace smtflex {
+
+/** One (design, mix) row of the figure. */
+struct OnlineStudyRow
+{
+    std::string design;
+    std::string workload;
+    std::uint32_t threads = 0;
+    RunMetrics naive;
+    RunMetrics oracle;
+    /** One entry per online policy, onlinePolicyNames() order. */
+    std::vector<ScheduleMetrics> policies;
+};
+
+/** Chip designs the figure evaluates: the homogeneous SMT reference and
+ * the two big+small heterogeneous designs where placement matters most. */
+const std::vector<std::string> &onlineStudyDesigns();
+
+/**
+ * The figure's reference mixes: the first heterogeneous SPEC mixes at 4
+ * and 8 threads (balanced-sampling, seed-deterministic), two PARSEC
+ * worker-kernel mixes, and one blended SPEC+PARSEC mix.
+ */
+std::vector<MultiProgramWorkload>
+onlineStudyWorkloads(const StudyOptions &options);
+
+/** Compute every row (fanned out over the exec pool, memoised). */
+std::vector<OnlineStudyRow> onlineStudy(StudyEngine &engine);
+
+/** Render the figure as text (the `smtflex schedule --figure` view). */
+std::string onlineStudyText(StudyEngine &engine);
+
+} // namespace smtflex
+
+#endif // SMTFLEX_STUDY_ONLINE_STUDY_H

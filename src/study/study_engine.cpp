@@ -135,7 +135,7 @@ StudyEngine::isolatedIpc(const std::string &bench, CoreType type)
 
     ChipSim chip(solo);
     const std::vector<ThreadSpec> specs = {
-        {&specProfile(bench), options_.budget, options_.warmup}};
+        {&benchProfileByName(bench), options_.budget, options_.warmup}};
     Placement placement;
     placement.entries = {{0, 0}};
     const SimResult result =
@@ -177,15 +177,10 @@ StudyEngine::offline()
 }
 
 RunMetrics
-StudyEngine::runMultiprogramUncached(const ChipConfig &config,
-                                     const MultiProgramWorkload &workload)
+StudyEngine::runPlacement(const ChipConfig &chip_config,
+                          const std::vector<ThreadSpec> &specs,
+                          const Placement &placement)
 {
-    const ChipConfig chip_config = configured(config);
-    const std::vector<ThreadSpec> specs =
-        workload.specs(options_.budget, options_.warmup);
-    const Placement placement =
-        scheduleOffline(chip_config, specs, offline());
-
     ChipSim chip(chip_config);
     const SimResult result =
         chip.runMultiProgram(specs, placement, options_.seed);
@@ -206,23 +201,180 @@ StudyEngine::runMultiprogramUncached(const ChipConfig &config,
 }
 
 RunMetrics
+StudyEngine::runMultiprogramUncached(const ChipConfig &config,
+                                     const MultiProgramWorkload &workload)
+{
+    const ChipConfig chip_config = configured(config);
+    const std::vector<ThreadSpec> specs =
+        workload.specs(options_.budget, options_.warmup);
+    const Placement placement =
+        scheduleOffline(chip_config, specs, offline());
+    return runPlacement(chip_config, specs, placement);
+}
+
+RunMetrics
+StudyEngine::decodeRunMetrics(const std::vector<double> &values)
+{
+    RunMetrics m;
+    m.stp = values.at(0);
+    m.antt = values.at(1);
+    m.powerGatedW = values.at(2);
+    m.powerUngatedW = values.at(3);
+    m.cycles = values.at(4);
+    m.hitLimit = values.at(5) != 0.0;
+    return m;
+}
+
+std::vector<double>
+StudyEngine::encodeRunMetrics(const RunMetrics &m)
+{
+    return {m.stp,   m.antt,   m.powerGatedW, m.powerUngatedW,
+            m.cycles, m.hitLimit ? 1.0 : 0.0};
+}
+
+RunMetrics
 StudyEngine::multiprogram(const ChipConfig &config,
                           const MultiProgramWorkload &workload)
 {
     const std::string key = "mp;" + keyPrefix(config) + ";" + workload.name;
+    if (const auto hit = cache_.lookup(key))
+        return decodeRunMetrics(*hit);
+    const RunMetrics m = runMultiprogramUncached(config, workload);
+    cache_.store(key, encodeRunMetrics(m));
+    return m;
+}
+
+RunMetrics
+StudyEngine::multiprogramNaive(const ChipConfig &config,
+                               const MultiProgramWorkload &workload)
+{
+    const std::string key =
+        "mpn;" + keyPrefix(config) + ";" + workload.name;
+    if (const auto hit = cache_.lookup(key))
+        return decodeRunMetrics(*hit);
+    const ChipConfig chip_config = configured(config);
+    const std::vector<ThreadSpec> specs =
+        workload.specs(options_.budget, options_.warmup);
+    const RunMetrics m = runPlacement(
+        chip_config, specs, scheduleNaive(chip_config, specs.size()));
+    cache_.store(key, encodeRunMetrics(m));
+    return m;
+}
+
+online::OnlineOptions
+StudyEngine::onlineOptions(const std::string &policy) const
+{
+    online::OnlineOptions opts;
+    opts.policy = policy;
+    // Short sample quanta by design: a quarter of the study budget (the
+    // whole point of the online path is deciding from less evidence than
+    // the oracle's full characterisation runs).
+    opts.profiler.sampleBudget =
+        std::max<InstrCount>(1'000, options_.budget / 4);
+    opts.profiler.sampleWarmup = options_.warmup / 3;
+    opts.profiler.seed = options_.seed;
+    opts.profiler.bandwidthGBps = options_.bandwidthGBps;
+    return opts;
+}
+
+PlacementDecision
+StudyEngine::decidePlacement(const ChipConfig &config,
+                             const MultiProgramWorkload &workload,
+                             const std::string &policy)
+{
+    const std::string key =
+        "ol;" + policy + ";" + keyPrefix(config) + ";" + workload.name;
     if (const auto hit = cache_.lookup(key)) {
-        RunMetrics m;
-        m.stp = hit->at(0);
-        m.antt = hit->at(1);
-        m.powerGatedW = hit->at(2);
-        m.powerUngatedW = hit->at(3);
-        m.cycles = hit->at(4);
-        m.hitLimit = hit->at(5) != 0.0;
+        const std::vector<double> &v = *hit;
+        PlacementDecision d;
+        d.predictedStp = v.at(0);
+        d.predictedAntt = v.at(1);
+        d.epochs = static_cast<std::uint32_t>(v.at(2));
+        d.migrations = v.at(3);
+        d.reclassifications = v.at(4);
+        d.quantaSampled = v.at(5);
+        d.samplesRun = v.at(6);
+        const auto n = static_cast<std::size_t>(v.at(7));
+        for (std::size_t t = 0; t < n; ++t) {
+            Placement::Entry entry;
+            entry.core = static_cast<std::uint32_t>(v.at(8 + 3 * t));
+            entry.slot = static_cast<std::uint32_t>(v.at(9 + 3 * t));
+            d.placement.entries.push_back(entry);
+            d.classes.push_back(static_cast<online::ThreadClass>(
+                static_cast<int>(v.at(10 + 3 * t))));
+        }
+        return d;
+    }
+
+    const ChipConfig chip_config = configured(config);
+    const std::vector<ThreadSpec> specs =
+        workload.specs(options_.budget, options_.warmup);
+    const online::OnlineScheduler scheduler(onlineOptions(policy),
+                                            &schedStats_);
+    const online::OnlineDecision decision =
+        scheduler.decide(chip_config, specs);
+
+    PlacementDecision d;
+    d.placement = decision.placement;
+    d.classes.reserve(decision.profile.threads.size());
+    for (const auto &thread : decision.profile.threads)
+        d.classes.push_back(thread.klass);
+    d.predictedStp = decision.predictedStp;
+    d.predictedAntt = decision.predictedAntt;
+    d.epochs = decision.epochs;
+    d.migrations = static_cast<double>(decision.migrations);
+    d.reclassifications = static_cast<double>(decision.reclassifications);
+    d.quantaSampled = static_cast<double>(decision.quantaSampled);
+    d.samplesRun = static_cast<double>(decision.samplesRun);
+
+    std::vector<double> record = {
+        d.predictedStp,
+        d.predictedAntt,
+        static_cast<double>(d.epochs),
+        d.migrations,
+        d.reclassifications,
+        d.quantaSampled,
+        d.samplesRun,
+        static_cast<double>(d.placement.entries.size())};
+    for (std::size_t t = 0; t < d.placement.entries.size(); ++t) {
+        record.push_back(
+            static_cast<double>(d.placement.entries[t].core));
+        record.push_back(
+            static_cast<double>(d.placement.entries[t].slot));
+        record.push_back(
+            static_cast<double>(static_cast<int>(d.classes[t])));
+    }
+    cache_.store(key, record);
+    return d;
+}
+
+ScheduleMetrics
+StudyEngine::multiprogramOnline(const ChipConfig &config,
+                                const MultiProgramWorkload &workload,
+                                const std::string &policy)
+{
+    const std::string key =
+        "olr;" + policy + ";" + keyPrefix(config) + ";" + workload.name;
+    if (const auto hit = cache_.lookup(key)) {
+        ScheduleMetrics m;
+        m.run = decodeRunMetrics(*hit);
+        m.predictedStp = hit->at(6);
+        m.predictedAntt = hit->at(7);
         return m;
     }
-    const RunMetrics m = runMultiprogramUncached(config, workload);
-    cache_.store(key, {m.stp, m.antt, m.powerGatedW, m.powerUngatedW,
-                       m.cycles, m.hitLimit ? 1.0 : 0.0});
+    const PlacementDecision decision =
+        decidePlacement(config, workload, policy);
+    const ChipConfig chip_config = configured(config);
+    const std::vector<ThreadSpec> specs =
+        workload.specs(options_.budget, options_.warmup);
+    ScheduleMetrics m;
+    m.run = runPlacement(chip_config, specs, decision.placement);
+    m.predictedStp = decision.predictedStp;
+    m.predictedAntt = decision.predictedAntt;
+    std::vector<double> record = encodeRunMetrics(m.run);
+    record.push_back(m.predictedStp);
+    record.push_back(m.predictedAntt);
+    cache_.store(key, record);
     return m;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "online/online_policy.h"
 #include "power/power_model.h"
 #include "sched/scheduler.h"
 #include "sim/chip_config.h"
@@ -68,6 +69,33 @@ struct RunMetrics
     double powerUngatedW = 0.0; ///< avg chip power without gating
     double cycles = 0.0;
     bool hitLimit = false;
+};
+
+/**
+ * A memoised online scheduling decision (the serve `schedule` op's
+ * payload): the placement, per-thread classes, predictions and decision
+ * counters — everything the text rendering needs, in cacheable form.
+ */
+struct PlacementDecision
+{
+    Placement placement;
+    /** Classifier bucket per thread, workload order. */
+    std::vector<online::ThreadClass> classes;
+    double predictedStp = 0.0;
+    double predictedAntt = 0.0;
+    std::uint32_t epochs = 0;
+    double migrations = 0.0;
+    double reclassifications = 0.0;
+    double quantaSampled = 0.0;
+    double samplesRun = 0.0;
+};
+
+/** Metrics of one multi-program run under an online placement. */
+struct ScheduleMetrics
+{
+    RunMetrics run;
+    double predictedStp = 0.0;
+    double predictedAntt = 0.0;
 };
 
 /** Metrics of one multi-threaded (PARSEC) run. */
@@ -128,6 +156,10 @@ class StudyEngine
     RunMetrics multiprogram(const ChipConfig &config,
                             const MultiProgramWorkload &workload);
 
+    /** Run one workload naively scheduled (ablation baseline, cached). */
+    RunMetrics multiprogramNaive(const ChipConfig &config,
+                                 const MultiProgramWorkload &workload);
+
     /** Harmonic-mean STP over the 12 homogeneous workloads at @p n. */
     RunMetrics homogeneousAt(const ChipConfig &config, std::uint32_t n);
 
@@ -151,6 +183,27 @@ class StudyEngine
     double distributionPower(const ChipConfig &config,
                              const DiscreteDistribution &dist,
                              bool heterogeneous_workloads);
+
+    // ---- online scheduling (smtflex::online; DESIGN.md §14) ----
+
+    /** Online profiler/policy knobs derived from the study options (the
+     * sample budget is a quarter of the study budget — short quanta by
+     * design; the cache keys stay pure functions of StudyOptions). */
+    online::OnlineOptions onlineOptions(const std::string &policy) const;
+
+    /** Decide an online placement for one workload (cached). */
+    PlacementDecision decidePlacement(const ChipConfig &config,
+                                      const MultiProgramWorkload &workload,
+                                      const std::string &policy);
+
+    /** Run one workload under the online placement (cached). */
+    ScheduleMetrics multiprogramOnline(const ChipConfig &config,
+                                       const MultiProgramWorkload &workload,
+                                       const std::string &policy);
+
+    /** Online-scheduling counters (the serve layer registers them under
+     * `sched.*`). */
+    online::SchedStats &schedStats() { return schedStats_; }
 
     // ---- multi-threaded experiments ----
 
@@ -194,6 +247,13 @@ class StudyEngine
     std::string isolationKey(const std::string &bench, CoreType type) const;
     RunMetrics runMultiprogramUncached(const ChipConfig &config,
                                        const MultiProgramWorkload &workload);
+    /** Simulate @p specs under @p placement on the configured chip and
+     * derive RunMetrics (shared by the oracle, naive and online paths). */
+    RunMetrics runPlacement(const ChipConfig &chip_config,
+                            const std::vector<ThreadSpec> &specs,
+                            const Placement &placement);
+    static RunMetrics decodeRunMetrics(const std::vector<double> &values);
+    static std::vector<double> encodeRunMetrics(const RunMetrics &metrics);
     ParsecMetrics runParsecUncached(const ChipConfig &config,
                                     const std::string &bench,
                                     std::uint32_t threads);
@@ -203,6 +263,7 @@ class StudyEngine
     PowerModel power_;
     OfflineProfile offline_;
     std::once_flag offlineOnce_;
+    online::SchedStats schedStats_;
 };
 
 } // namespace smtflex

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "trace/spec_profiles.h"
+#include "workload/parsec.h"
 
 namespace smtflex {
 
@@ -63,6 +64,52 @@ heterogeneousWorkloads(std::size_t n, std::size_t count, std::uint64_t seed)
         mixes.push_back(std::move(w));
     }
     return mixes;
+}
+
+const BenchmarkProfile &
+benchProfileByName(const std::string &name)
+{
+    const auto &spec = specAllBenchmarkNames();
+    if (std::find(spec.begin(), spec.end(), name) != spec.end())
+        return specProfile(name);
+    const auto &parsec = parsecBenchmarkNames();
+    if (std::find(parsec.begin(), parsec.end(), name) != parsec.end())
+        return parsecProfile(name).kernel;
+    // A kernel profile's own name ("<app>.kernel") resolves too, so the
+    // name stored in a mixed workload's profiles round-trips through the
+    // isolated-characterisation path.
+    const auto dot = name.rfind(".kernel");
+    if (dot != std::string::npos && dot + 7 == name.size() &&
+        std::find(parsec.begin(), parsec.end(), name.substr(0, dot)) !=
+            parsec.end())
+        return parsecProfile(name.substr(0, dot)).kernel;
+    fatal("benchProfileByName: unknown benchmark '", name,
+          "' (SPEC or PARSEC name expected)");
+}
+
+std::vector<std::string>
+mixableBenchmarkNames()
+{
+    std::vector<std::string> names = specAllBenchmarkNames();
+    const auto &parsec = parsecBenchmarkNames();
+    names.insert(names.end(), parsec.begin(), parsec.end());
+    return names;
+}
+
+MultiProgramWorkload
+mixWorkload(const std::vector<std::string> &benchmarks)
+{
+    if (benchmarks.empty())
+        fatal("mixWorkload: empty benchmark list");
+    MultiProgramWorkload w;
+    w.name = "mix:";
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+        if (i > 0)
+            w.name += "+";
+        w.name += benchmarks[i];
+        w.programs.push_back(&benchProfileByName(benchmarks[i]));
+    }
+    return w;
 }
 
 } // namespace smtflex

@@ -43,6 +43,25 @@ MultiProgramWorkload homogeneousWorkload(const std::string &benchmark,
 std::vector<MultiProgramWorkload>
 heterogeneousWorkloads(std::size_t n, std::size_t count, std::uint64_t seed);
 
+/**
+ * Resolve a benchmark name to a mixable single-thread profile: one of the
+ * 12 SPEC models, or a PARSEC application's worker kernel (the PARSEC
+ * names mix as single-thread programs of that kernel's behaviour).
+ * fatal() for unknown names.
+ */
+const BenchmarkProfile &benchProfileByName(const std::string &name);
+
+/** Every name benchProfileByName accepts: SPEC then PARSEC, canonical
+ * order. */
+std::vector<std::string> mixableBenchmarkNames();
+
+/**
+ * A named mix of arbitrary mixable benchmarks — the workload shape the
+ * serve `schedule` op submits. The name ("mix:a+b+c") is a pure function
+ * of the list, so memoisation keys agree across clients.
+ */
+MultiProgramWorkload mixWorkload(const std::vector<std::string> &benchmarks);
+
 } // namespace smtflex
 
 #endif // SMTFLEX_WORKLOAD_MULTIPROGRAM_H

@@ -266,6 +266,65 @@ TEST(CoordinatorE2eTest, RunAndIsolatedForwardRoundRobinWithFailover)
     EXPECT_EQ(coordinator.stats().forwardLocal.load(), 0u);
 }
 
+serve::Request
+scheduleRequest()
+{
+    Json doc = Json::object();
+    doc.set("op", Json::string("schedule"));
+    doc.set("design", Json::string("3B5s"));
+    Json benchmarks = Json::array();
+    benchmarks.push(Json::string("mcf"));
+    benchmarks.push(Json::string("hmmer"));
+    benchmarks.push(Json::string("lbm"));
+    benchmarks.push(Json::string("h264ref"));
+    doc.set("benchmarks", std::move(benchmarks));
+    doc.set("policy", Json::string("pairing"));
+    return serve::parseRequest(doc);
+}
+
+TEST(CoordinatorE2eTest, ScheduleForwardsWithFailoverByteIdentically)
+{
+    TestBackend backend;
+    // Backend 0 is dead: schedule must fail over like run/isolated and
+    // still return the single-node rendering byte for byte.
+    CoordinatorOptions options =
+        coordOptions({{"127.0.0.1", 1}, backend.config()});
+    Coordinator coordinator(options);
+
+    const serve::Request req = scheduleRequest();
+    StudyEngine reference(fastStudy());
+    const std::string expected =
+        serve::scheduleText(reference, req.schedule);
+
+    const Json body = coordinator.execute(req);
+    EXPECT_TRUE(body.at("ok").asBool());
+    EXPECT_EQ(body.at("output").asString(), expected);
+    EXPECT_EQ(coordinator.stats().forwarded.load(), 1u);
+    EXPECT_EQ(coordinator.stats().forwardLocal.load(), 0u);
+
+    // The backend memoises the decision: a repeat is answered from its
+    // response cache, still byte-identical.
+    const Json again = coordinator.execute(scheduleRequest());
+    EXPECT_EQ(again.at("output").asString(), expected);
+    EXPECT_GT(backend.server().stats().cacheHits.load(), 0u);
+}
+
+TEST(CoordinatorE2eTest, ScheduleFallsBackToLocalOnDeadFleet)
+{
+    CoordinatorOptions options = coordOptions({{"127.0.0.1", 1}});
+    options.pool.quarantineAfter = 1;
+    Coordinator coordinator(options);
+
+    const serve::Request req = scheduleRequest();
+    StudyEngine reference(fastStudy());
+    const Json body = coordinator.execute(req);
+    EXPECT_TRUE(body.at("ok").asBool());
+    EXPECT_EQ(body.at("output").asString(),
+              serve::scheduleText(reference, req.schedule));
+    EXPECT_EQ(coordinator.stats().forwarded.load(), 0u);
+    EXPECT_EQ(coordinator.stats().forwardLocal.load(), 1u);
+}
+
 TEST(CoordinatorE2eTest, DeadFleetForwardsFallBackToLocalRendering)
 {
     CoordinatorOptions options = coordOptions({{"127.0.0.1", 1}});

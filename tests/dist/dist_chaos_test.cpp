@@ -128,6 +128,51 @@ TEST_F(DistChaosTest, SweepSurvivesInjectedLinkFaultsByteIdentically)
     EXPECT_GT(coordinator.stats().chunksDispatched.load(), 0u);
 }
 
+TEST_F(DistChaosTest, ScheduleSurvivesInjectedLinkFaultsByteIdentically)
+{
+    // A schedule forward rides one coordinator→backend connection, so a
+    // fault storm exercises the retry/failover path end to end; the
+    // answer must still be the single-node rendering, byte for byte.
+    Json doc = Json::object();
+    doc.set("op", Json::string("schedule"));
+    doc.set("design", Json::string("3B5s"));
+    Json benchmarks = Json::array();
+    benchmarks.push(Json::string("mcf"));
+    benchmarks.push(Json::string("hmmer"));
+    benchmarks.push(Json::string("lbm"));
+    doc.set("benchmarks", std::move(benchmarks));
+    doc.set("policy", Json::string("hysteresis"));
+    const serve::Request req = serve::parseRequest(doc);
+
+    StudyEngine reference(chaosStudy());
+    const std::string expected =
+        serve::scheduleText(reference, req.schedule);
+
+    TestBackend backend;
+    CoordinatorOptions options;
+    options.server.port = 0;
+    options.server.study = chaosStudy();
+    options.backends = {backend.config()};
+    options.pool.probeTimeoutMs = 1'000;
+    options.pool.connectTimeoutMs = 1'000;
+    Coordinator coordinator(options);
+
+    fault::configure("net.short_read:p=0.3;seed=21,"
+                     "net.short_write:p=0.3;seed=22,"
+                     "net.eagain:p=0.2;seed=23,"
+                     "net.disconnect:p=0.05;seed=24;after=20;limit=4");
+    const Json body = coordinator.execute(req);
+    fault::reset();
+
+    EXPECT_TRUE(body.at("ok").asBool());
+    EXPECT_EQ(body.at("output").asString(), expected);
+    // Forwarded to the fleet or recomputed locally after quarantine —
+    // either path must have produced the canonical bytes above.
+    EXPECT_EQ(coordinator.stats().forwarded.load() +
+                  coordinator.stats().forwardLocal.load(),
+              1u);
+}
+
 TEST_F(DistChaosTest, EveryBackendDyingStillYieldsTheExactSweep)
 {
     StudyEngine reference(chaosStudy());

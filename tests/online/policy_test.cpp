@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Golden oracle-consistency tests of the online policies: a converged
+ * profile — sample budget raised to the study budget — feeds the pairing
+ * policy the exact same affinity ranking the offline oracle computed from
+ * its isolated-run table (the sampled solo runs are bit-identical to the
+ * table's runs), so on mixes whose per-class memory-intensity orderings
+ * agree between the sampled LLC-MPKI proxy and the oracle's static
+ * formula, the online placement must reproduce scheduleOffline's
+ * placement exactly.
+ *
+ * The reference mixes are chosen to avoid the proxies' known divergences
+ * (mcf ranks first by off-chip traffic but fourth by the static formula;
+ * the near-zero-LLC codes h264ref/sjeng/tonto/calculix/hmmer order
+ * arbitrarily against each other at the noise floor), because those
+ * divergences are a modelling difference, not a determinism bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "online/online_policy.h"
+#include "online/online_profiler.h"
+#include "sched/scheduler.h"
+#include "study/design_space.h"
+#include "study/study_engine.h"
+#include "trace/spec_profiles.h"
+
+namespace smtflex {
+namespace online {
+namespace {
+
+/** The study's reference options: the committed seed cache's identity. */
+StudyOptions
+referenceOptions()
+{
+    StudyOptions opts;
+    opts.budget = 12'000;
+    opts.warmup = 3'000;
+    opts.seed = 12'345;
+    opts.bandwidthGBps = 8.0;
+    opts.cachePath.clear();
+    return opts;
+}
+
+/** A converged sample phase: full study budget, same seed and bandwidth
+ * — its solo runs are bit-identical to the oracle table's. */
+ProfilerOptions
+convergedProfiler()
+{
+    ProfilerOptions opts;
+    opts.sampleBudget = 12'000;
+    opts.sampleWarmup = 3'000;
+    opts.seed = 12'345;
+    opts.bandwidthGBps = 8.0;
+    return opts;
+}
+
+std::vector<ThreadSpec>
+specsFor(const std::vector<std::string> &benches)
+{
+    std::vector<ThreadSpec> specs;
+    for (const auto &bench : benches)
+        specs.push_back({&specProfile(bench), 12'000, 3'000});
+    return specs;
+}
+
+void
+expectSamePlacement(const Placement &online, const Placement &oracle,
+                    const std::string &label)
+{
+    ASSERT_EQ(online.entries.size(), oracle.entries.size()) << label;
+    for (std::size_t t = 0; t < online.entries.size(); ++t) {
+        EXPECT_EQ(online.entries[t].core, oracle.entries[t].core)
+            << label << " thread " << t;
+        EXPECT_EQ(online.entries[t].slot, oracle.entries[t].slot)
+            << label << " thread " << t;
+    }
+}
+
+TEST(PolicyGoldenTest, ConvergedPairingReproducesOracle)
+{
+    StudyEngine engine(referenceOptions());
+    const OfflineProfile &offline = engine.offline();
+
+    struct Case
+    {
+        const char *design;
+        std::vector<std::string> benches;
+    };
+    const std::vector<Case> cases = {
+        // Homogeneous SMT chip: the whole mix is one class group, so the
+        // full memory-intensity ordering drives the serpentine deal.
+        {"4B", {"lbm", "libquantum", "milc", "soplex"}},
+        {"4B", {"lbm", "milc", "soplex", "sjeng"}},
+        // Heterogeneous: affinity rank splits big/small class groups.
+        {"3B5s", {"lbm", "libquantum", "soplex", "sjeng", "gobmk",
+                  "hmmer"}},
+        {"2B10s", {"h264ref", "soplex", "gobmk", "lbm", "libquantum",
+                   "milc"}},
+    };
+
+    OnlineOptions options;
+    options.profiler = convergedProfiler();
+    options.policy = "pairing";
+
+    for (const auto &c : cases) {
+        const ChipConfig config = paperDesign(c.design);
+        const auto specs = specsFor(c.benches);
+        const Placement oracle = scheduleOffline(config, specs, offline);
+        const OnlineDecision decision =
+            OnlineScheduler(options).decide(config, specs);
+        expectSamePlacement(decision.placement, oracle,
+                            std::string(c.design) + " mix");
+    }
+}
+
+TEST(PolicyGoldenTest, ConvergedAffinityMatchesOracleBitwise)
+{
+    // The stronger property behind the placement identity: a converged
+    // sample run IS the oracle's isolated run, bit for bit.
+    StudyEngine engine(referenceOptions());
+    const OfflineProfile &offline = engine.offline();
+    OnlineProfiler profiler(convergedProfiler());
+    for (const char *bench : {"mcf", "hmmer", "lbm", "h264ref"}) {
+        const double sampled_big =
+            profiler.sample(specProfile(bench), CoreType::kBig).ipc;
+        const double sampled_small =
+            profiler.sample(specProfile(bench), CoreType::kSmall).ipc;
+        EXPECT_EQ(sampled_big, offline.ipc(bench, CoreType::kBig)) << bench;
+        EXPECT_EQ(sampled_small, offline.ipc(bench, CoreType::kSmall))
+            << bench;
+        EXPECT_EQ(sampled_big / sampled_small, offline.bigAffinity(bench))
+            << bench;
+    }
+}
+
+TEST(PolicyTest, GreedyFillsBigCoresByAffinity)
+{
+    OnlineOptions options;
+    options.profiler = convergedProfiler();
+    options.policy = "greedy";
+    const ChipConfig config = paperDesign("3B5s");
+    // h264ref has the strongest sampled big-core affinity, lbm the
+    // weakest: greedy must give h264ref the first big slot and push lbm
+    // to a small core.
+    const auto specs = specsFor({"lbm", "h264ref", "soplex", "milc"});
+    const OnlineDecision decision =
+        OnlineScheduler(options).decide(config, specs);
+    const auto order = slotFillOrder(config);
+    EXPECT_EQ(decision.placement.entries[1].core, order[0].core);
+    EXPECT_EQ(decision.placement.entries[1].slot, order[0].slot);
+    EXPECT_EQ(config.cores[decision.placement.entries[0].core].type,
+              CoreType::kSmall);
+}
+
+TEST(PolicyTest, HysteresisConvergesToPairingPlacement)
+{
+    // With a converged final epoch the hysteresis damper has no better
+    // challenger left: its placement must match plain pairing's (though
+    // it may have paid migrations to get there).
+    OnlineOptions pairing;
+    pairing.profiler = convergedProfiler();
+    pairing.policy = "pairing";
+    OnlineOptions hysteresis = pairing;
+    hysteresis.policy = "hysteresis";
+
+    const ChipConfig config = paperDesign("3B5s");
+    const auto specs =
+        specsFor({"lbm", "libquantum", "soplex", "sjeng", "gobmk",
+                  "hmmer"});
+    const OnlineDecision p = OnlineScheduler(pairing).decide(config, specs);
+    const OnlineDecision h =
+        OnlineScheduler(hysteresis).decide(config, specs);
+    EXPECT_EQ(h.epochs, 3u);
+    EXPECT_GT(h.samplesRun, p.samplesRun);
+    // Placements agree unless the damper is still holding an earlier
+    // epoch's placement whose predicted STP is within the margin — in
+    // which case the prediction gap must be inside that margin.
+    const double p_stp = p.predictedStp;
+    const double h_stp = h.predictedStp;
+    EXPECT_GE(h_stp,
+              p_stp / (1.0 + hysteresis.hysteresisMargin) -
+                  hysteresis.migrationCostStp *
+                      static_cast<double>(specs.size()));
+}
+
+TEST(PolicyTest, MeasuredNeverLosesThroughputToNaive)
+{
+    // The mix where co-run interference inverts the isolated-affinity
+    // ranking: the oracle (and pairing) lose simulated STP to the naive
+    // fill order. The measured policy evaluates the naive baseline as a
+    // candidate, so — at a converged evaluation quantum — it must adopt
+    // it.
+    OnlineOptions options;
+    options.profiler = convergedProfiler();
+    options.policy = "measured";
+    const ChipConfig config = paperDesign("3B5s");
+    const auto specs = specsFor({"hmmer", "gamess", "gobmk", "milc",
+                                 "sjeng", "calculix", "h264ref",
+                                 "libquantum"});
+
+    const OnlineDecision decision =
+        OnlineScheduler(options).decide(config, specs);
+    const Placement naive = scheduleNaive(config, specs.size());
+    expectSamePlacement(decision.placement, naive, "measured vs naive");
+    // Profiling solo runs plus one evaluation quantum per candidate.
+    EXPECT_GT(decision.samplesRun, 3u);
+}
+
+TEST(PolicyTest, PredictionModelPrefersSpreadingOverStacking)
+{
+    // Stacking every thread on one core divides progress by the sharing
+    // discount; spreading must predict strictly higher STP.
+    OnlineProfiler profiler(convergedProfiler());
+    const ChipConfig config = paperDesign("4B");
+    const auto specs = specsFor({"hmmer", "h264ref"});
+    const OnlineProfile profile =
+        profiler.profileWorkload(config, specs);
+
+    Placement spread;
+    spread.entries = {{0, 0}, {1, 0}};
+    Placement stacked;
+    stacked.entries = {{0, 0}, {0, 1}};
+    EXPECT_GT(predictStp(config, profile, spread),
+              predictStp(config, profile, stacked));
+    EXPECT_LT(predictAntt(config, profile, spread),
+              predictAntt(config, profile, stacked));
+}
+
+TEST(PolicyTest, SchedStatsAccumulate)
+{
+    SchedStats stats;
+    OnlineOptions options;
+    options.profiler = convergedProfiler();
+    options.profiler.sampleBudget = 2'000;
+    options.profiler.sampleWarmup = 500;
+    options.policy = "pairing";
+    const ChipConfig config = paperDesign("4B");
+    const auto specs = specsFor({"hmmer", "lbm"});
+    OnlineScheduler(options, &stats).decide(config, specs);
+    EXPECT_EQ(stats.decisions.load(), 1u);
+    EXPECT_EQ(stats.samplesRun.load(), 4u); // 2 benches x {big, small}
+    EXPECT_GT(stats.quantaSampled.load(), 0u);
+}
+
+} // namespace
+} // namespace online
+} // namespace smtflex

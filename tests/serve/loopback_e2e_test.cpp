@@ -78,7 +78,7 @@ TEST(LoopbackE2eTest, ServedResponsesMatchSerialRenderingByteForByte)
     load.connections = 8;
     load.requestsPerConnection = 6;
     load.seed = 3;
-    load.mix = "ping=2,run=5,isolated=2";
+    load.mix = "ping=2,run=5,isolated=2,schedule=2";
     load.distinct = 4;
     load.budget = 2'000;
     load.warmup = 500;
@@ -95,6 +95,9 @@ TEST(LoopbackE2eTest, ServedResponsesMatchSerialRenderingByteForByte)
         else if (req.op == Op::kIsolated)
             load.expectedOutputs[req.canonicalKey()] =
                 isolatedText(reference, req.isolated);
+        else if (req.op == Op::kSchedule)
+            load.expectedOutputs[req.canonicalKey()] =
+                scheduleText(reference, req.schedule);
     }
     ASSERT_FALSE(load.expectedOutputs.empty());
 

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The `schedule` serve op at the protocol and command-core layers:
+ * parsing with defaults, canonical-key stability (the memoisation
+ * identity), validation failures as protocol errors, and renderer
+ * determinism — two independent engines with the same StudyOptions must
+ * produce byte-identical schedule text, the property every downstream
+ * byte-identity check (loopback, coordinator, chaos) stands on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/log.h"
+#include "serve/commands.h"
+#include "serve/protocol.h"
+#include "study/study_engine.h"
+
+namespace smtflex {
+namespace serve {
+namespace {
+
+StudyOptions
+fastStudy()
+{
+    StudyOptions study;
+    study.budget = 2'000;
+    study.warmup = 500;
+    study.seed = 42;
+    study.cachePath = "";
+    return study;
+}
+
+Request
+parse(const std::string &text)
+{
+    return parseRequest(Json::parse(text));
+}
+
+TEST(ScheduleOpTest, ParseFillsDefaults)
+{
+    const Request req =
+        parse(R"({"op":"schedule","benchmarks":["mcf","hmmer"]})");
+    EXPECT_EQ(req.op, Op::kSchedule);
+    EXPECT_EQ(req.schedule.design, "4B");
+    ASSERT_EQ(req.schedule.benchmarks.size(), 2u);
+    EXPECT_EQ(req.schedule.benchmarks[0], "mcf");
+    EXPECT_EQ(req.schedule.benchmarks[1], "hmmer");
+    EXPECT_EQ(req.schedule.policy, "pairing");
+    EXPECT_FALSE(req.schedule.noSmt);
+    EXPECT_FALSE(req.schedule.hasBw);
+}
+
+TEST(ScheduleOpTest, ParseHonoursEveryField)
+{
+    const Request req = parse(
+        R"({"op":"schedule","design":"3B5s","benchmarks":["lbm"],)"
+        R"("policy":"hysteresis","no_smt":true,"bw":16})");
+    EXPECT_EQ(req.schedule.design, "3B5s");
+    EXPECT_EQ(req.schedule.policy, "hysteresis");
+    EXPECT_TRUE(req.schedule.noSmt);
+    EXPECT_TRUE(req.schedule.hasBw);
+    EXPECT_EQ(req.schedule.bw, 16.0);
+}
+
+TEST(ScheduleOpTest, CanonicalKeyIsStableAcrossFieldOrder)
+{
+    const Request a = parse(
+        R"({"op":"schedule","design":"2B4m","benchmarks":["mcf","lbm"],)"
+        R"("policy":"greedy"})");
+    const Request b = parse(
+        R"({"policy":"greedy","benchmarks":["mcf","lbm"],)"
+        R"("design":"2B4m","op":"schedule"})");
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+
+    // bw enters the key only when the request sets it: a default-bw
+    // request and an explicit bw=8 request are distinct cache entries
+    // (matching run/sweep semantics).
+    const Request c = parse(
+        R"({"op":"schedule","design":"2B4m","benchmarks":["mcf","lbm"],)"
+        R"("policy":"greedy","bw":8})");
+    EXPECT_NE(a.canonicalKey(), c.canonicalKey());
+    // Benchmark order is placement-relevant, so it is key-relevant.
+    const Request d = parse(
+        R"({"op":"schedule","design":"2B4m","benchmarks":["lbm","mcf"],)"
+        R"("policy":"greedy"})");
+    EXPECT_NE(a.canonicalKey(), d.canonicalKey());
+}
+
+TEST(ScheduleOpTest, ValidationRejectsBadRequests)
+{
+    // Unknown policy.
+    EXPECT_THROW(
+        parse(R"({"op":"schedule","benchmarks":["mcf"],"policy":"lru"})"),
+        FatalError);
+    // Unknown benchmark.
+    EXPECT_THROW(
+        parse(R"({"op":"schedule","benchmarks":["gcc-o3"]})"),
+        FatalError);
+    // Empty mix.
+    EXPECT_THROW(parse(R"({"op":"schedule","benchmarks":[]})"),
+                 FatalError);
+    EXPECT_THROW(parse(R"({"op":"schedule"})"), FatalError);
+    // Unknown design.
+    EXPECT_THROW(
+        parse(R"({"op":"schedule","design":"9Z","benchmarks":["mcf"]})"),
+        FatalError);
+}
+
+TEST(ScheduleOpTest, ParsecBenchmarksAreSchedulable)
+{
+    const Request req = parse(
+        R"({"op":"schedule","design":"3B5s",)"
+        R"("benchmarks":["blackscholes","mcf","swaptions"]})");
+    StudyEngine engine(fastStudy());
+    const std::string text = scheduleText(engine, req.schedule);
+    EXPECT_NE(text.find("blackscholes"), std::string::npos);
+    EXPECT_NE(text.find("predicted STP"), std::string::npos);
+}
+
+TEST(ScheduleOpTest, RendererIsDeterministicAcrossEngines)
+{
+    const Request req = parse(
+        R"({"op":"schedule","design":"3B5s",)"
+        R"("benchmarks":["mcf","hmmer","lbm","h264ref"],)"
+        R"("policy":"pairing"})");
+
+    StudyEngine first(fastStudy());
+    StudyEngine second(fastStudy());
+    const std::string once = scheduleText(first, req.schedule);
+    // Repeat on the same engine (memoised) and on a fresh engine (cold):
+    // all three renderings must be byte-identical.
+    EXPECT_EQ(scheduleText(first, req.schedule), once);
+    EXPECT_EQ(scheduleText(second, req.schedule), once);
+    EXPECT_NE(once.find("design 3B5s, policy pairing, 4 threads"),
+              std::string::npos);
+}
+
+TEST(ScheduleOpTest, AllPoliciesRenderAllDesignFamilies)
+{
+    StudyEngine engine(fastStudy());
+    for (const char *policy :
+         {"greedy", "pairing", "hysteresis", "measured"}) {
+        for (const char *design : {"4B", "2B4m", "8m", "3B5s"}) {
+            ScheduleRequest req;
+            req.design = design;
+            req.benchmarks = {"mcf", "hmmer", "soplex"};
+            req.policy = policy;
+            const std::string text = scheduleText(engine, req);
+            EXPECT_NE(text.find("predicted ANTT"), std::string::npos)
+                << policy << " on " << design;
+        }
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace smtflex

@@ -12,6 +12,7 @@
  *   fig08_uniform_smt.csv                            distribution scores
  *   fig14_power.csv                                  power vs threads
  *   fig15_pareto.csv                                 power/energy points
+ *   fig18_online_schedule.csv                        online vs oracle STP
  */
 
 #include <cstdio>
@@ -20,8 +21,10 @@
 
 #include "common/log.h"
 #include "metrics/metrics.h"
+#include "online/online_policy.h"
 #include "report/csv.h"
 #include "study/design_space.h"
+#include "study/online_study.h"
 #include "study/study_engine.h"
 #include "workload/distributions.h"
 
@@ -136,6 +139,33 @@ exportPareto(StudyEngine &eng, const std::string &dir)
     }
 }
 
+void
+exportOnline(StudyEngine &eng, const std::string &dir)
+{
+    auto out = openOut(dir, "fig18_online_schedule.csv");
+    std::vector<std::string> cols = {"design", "mix", "threads",
+                                     "naive_stp", "naive_antt",
+                                     "oracle_stp", "oracle_antt"};
+    for (const auto &policy : online::onlinePolicyNames()) {
+        cols.push_back(policy + "_stp");
+        cols.push_back(policy + "_antt");
+    }
+    CsvWriter csv(out, cols);
+    for (const OnlineStudyRow &r : onlineStudy(eng)) {
+        auto row = csv.beginRow();
+        row.add(r.design)
+            .add(r.workload)
+            .add(static_cast<std::uint64_t>(r.threads))
+            .add(r.naive.stp)
+            .add(r.naive.antt)
+            .add(r.oracle.stp)
+            .add(r.oracle.antt);
+        for (const ScheduleMetrics &m : r.policies)
+            row.add(m.run.stp).add(m.run.antt);
+        row.done();
+    }
+}
+
 } // namespace
 
 int
@@ -150,6 +180,7 @@ main(int argc, char **argv)
         exportUniform(eng, dir);
         exportPower(eng, dir);
         exportPareto(eng, dir);
+        exportOnline(eng, dir);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "export_figures: %s\n", e.what());
         return 1;

@@ -10,6 +10,8 @@
  *                  [--budget N] [--warmup N] [--seed N] [--bw GBps]
  *                  [--prefetch] [--naive-sched] [--cache FILE]
  *   smtflex sweep  --design 4B [--bench tonto | --het] [--no-smt]
+ *   smtflex schedule --design 3B5s --benchmarks mcf,hmmer,lbm,sjeng
+ *                  [--policy greedy|pairing|hysteresis|measured] [--figure]
  *   smtflex parsec --app ferret --design 20s --threads 16 [--throttle]
  *   smtflex serve  --port 7333 --jobs 8 [--queue N] [--cache FILE]
  *   smtflex coordinator --port 7333 --backend H1:P1 --backend H2:P2
@@ -41,6 +43,7 @@
 #include "sim/chip_sim.h"
 #include "sim/power_summary.h"
 #include "study/design_space.h"
+#include "study/online_study.h"
 #include "study/study_engine.h"
 #include "trace/spec_profiles.h"
 #include "trace/trace_io.h"
@@ -287,6 +290,39 @@ cmdSweep(const Args &args)
 }
 
 int
+cmdSchedule(const Args &args)
+{
+    if (args.has("figure")) {
+        // The DESIGN.md §14 figure: online policies vs the naive and
+        // offline-oracle baselines over the reference mixes.
+        StudyEngine eng(studyOptionsFromArgs(args));
+        std::fputs(onlineStudyText(eng).c_str(), stdout);
+        return 0;
+    }
+
+    serve::ScheduleRequest req;
+    req.design = args.get("design", "4B");
+    const std::string benchmarks_arg = args.get("benchmarks", "");
+    std::istringstream ss(benchmarks_arg);
+    std::string token;
+    while (std::getline(ss, token, ','))
+        req.benchmarks.push_back(token);
+    req.policy = args.get("policy", "pairing");
+    req.noSmt = args.has("no-smt");
+    req.hasBw = args.has("bw");
+    req.bw = args.getDouble("bw", 8.0);
+
+    serve::Request wire;
+    wire.op = serve::Op::kSchedule;
+    wire.schedule = req;
+    if (runRemotely(args, wire))
+        return 0;
+    StudyEngine eng(studyOptionsFromArgs(args));
+    std::fputs(serve::scheduleText(eng, req).c_str(), stdout);
+    return 0;
+}
+
+int
 cmdParsec(const Args &args)
 {
     const ChipConfig cfg = designFromArgs(args);
@@ -503,6 +539,13 @@ usage()
         "  sweep  --design D [--bench b | --het] [--no-smt] [--bw G]\n"
         "         [--addr HOST:PORT]    (--addr: execute on a running\n"
         "                                serve/coordinator endpoint)\n"
+        "  schedule --design D --benchmarks a,b,c [--policy P] [--no-smt]\n"
+        "         [--bw G] [--cache FILE] [--addr HOST:PORT]\n"
+        "                                online thread-to-core placement\n"
+        "                                (policies: greedy, pairing,\n"
+        "                                hysteresis, measured); --figure\n"
+        "                                renders the online-vs-oracle\n"
+        "                                comparison\n"
         "  parsec --app A --design D --threads N [--throttle] [--no-smt]\n"
         "  trace  --bench b --out file [--count N] [--seed N]\n"
         "  serve  [--port N] [--host A] [--jobs N] [--queue N]\n"
@@ -540,6 +583,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (cmd == "sweep")
             return cmdSweep(args);
+        if (cmd == "schedule")
+            return cmdSchedule(args);
         if (cmd == "parsec")
             return cmdParsec(args);
         if (cmd == "trace")
