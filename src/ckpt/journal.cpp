@@ -1,0 +1,187 @@
+#include "ckpt/journal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "common/log.h"
+
+namespace smtflex {
+namespace ckpt {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4c4a4653; // "SFJL" little-endian
+
+bool
+writeAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+SweepJournal::SweepJournal(std::string path, CkptStats *stats)
+    : path_(std::move(path)), stats_(stats)
+{
+}
+
+bool
+SweepJournal::append(const std::vector<Record> &records)
+{
+    Writer payload;
+    payload.u32(static_cast<std::uint32_t>(records.size()));
+    for (const Record &rec : records) {
+        payload.str(rec.key);
+        payload.u32(static_cast<std::uint32_t>(rec.values.size()));
+        for (const double v : rec.values)
+            payload.f64(v);
+    }
+
+    Writer frame;
+    frame.u32(kFrameMagic);
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    const std::uint32_t crc =
+        crc32(payload.bytes().data(), payload.size());
+    std::vector<std::uint8_t> bytes = frame.take();
+    bytes.insert(bytes.end(), payload.bytes().begin(),
+                 payload.bytes().end());
+    Writer tail;
+    tail.u32(crc);
+    bytes.insert(bytes.end(), tail.bytes().begin(), tail.bytes().end());
+
+    std::size_t to_write = bytes.size();
+    if (fault::shouldFire(fault::Site::kCkptWrite)) {
+        to_write = static_cast<std::size_t>(
+            fault::param(fault::Site::kCkptWrite, bytes.size() / 2));
+        if (to_write > bytes.size())
+            to_write = bytes.size() / 2;
+        warn("ckpt: injected torn journal append (", to_write, " of ",
+             bytes.size(), " bytes): ", path_);
+    }
+
+    const int fd = ::open(path_.c_str(),
+                          O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        warn("ckpt: open(", path_, ") failed: ", std::strerror(errno));
+        return false;
+    }
+    struct stat st{};
+    const bool fresh = ::fstat(fd, &st) == 0 && st.st_size == 0;
+    const bool wrote = writeAll(fd, bytes.data(), to_write);
+    bool synced = wrote && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!wrote)
+        warn("ckpt: journal append to ", path_,
+             " failed: ", std::strerror(errno));
+    if (fresh && synced) {
+        // A freshly created journal must itself survive power loss.
+        const std::size_t slash = path_.rfind('/');
+        const std::string dir =
+            slash == std::string::npos ? "." : path_.substr(0, slash);
+        const int dfd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+        if (dfd >= 0) {
+            ::fsync(dfd);
+            ::close(dfd);
+        }
+    }
+    const bool ok = wrote && synced && to_write == bytes.size();
+    if (ok)
+        stats_->journalAppends.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+}
+
+std::uint64_t
+SweepJournal::replay(const std::function<void(const Record &)> &visit)
+{
+    const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return 0;
+    if (fault::shouldFire(fault::Site::kCkptLoad)) {
+        ::close(fd);
+        warn("ckpt: injected unreadable journal: ", path_);
+        stats_->corruptSkipped.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return 0;
+    }
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::read(fd, bytes.data() + off, bytes.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+
+    std::uint64_t visited = 0;
+    std::size_t pos = 0;
+    while (pos + 8 <= off) {
+        Reader head(bytes.data() + pos, 8);
+        if (head.u32() != kFrameMagic) {
+            stats_->corruptSkipped.fetch_add(1, std::memory_order_relaxed);
+            warn("ckpt: journal ", path_, ": bad frame magic at offset ",
+                 pos, "; ignoring the rest");
+            break;
+        }
+        const std::uint32_t len = head.u32();
+        if (pos + 8 + len + 4 > off)
+            break; // torn tail: the crash case, silently healed
+        const std::uint8_t *payload = bytes.data() + pos + 8;
+        Reader tail(payload + len, 4);
+        if (tail.u32() != crc32(payload, len)) {
+            stats_->corruptSkipped.fetch_add(1, std::memory_order_relaxed);
+            warn("ckpt: journal ", path_, ": frame CRC mismatch at offset ",
+                 pos, "; ignoring the rest");
+            break;
+        }
+        try {
+            Reader r(payload, len);
+            const std::uint32_t count = r.u32();
+            for (std::uint32_t i = 0; i < count; ++i) {
+                Record rec;
+                rec.key = r.str();
+                const std::uint32_t nv = r.u32();
+                rec.values.reserve(nv);
+                for (std::uint32_t v = 0; v < nv; ++v)
+                    rec.values.push_back(r.f64());
+                visit(rec);
+                ++visited;
+            }
+            r.expectEnd();
+        } catch (const CorruptSnapshot &e) {
+            stats_->corruptSkipped.fetch_add(1, std::memory_order_relaxed);
+            warn("ckpt: journal ", path_, ": ", e.what(),
+                 "; ignoring the rest");
+            break;
+        }
+        pos += 8 + len + 4;
+    }
+    stats_->journalReplayed.fetch_add(visited, std::memory_order_relaxed);
+    return visited;
+}
+
+} // namespace ckpt
+} // namespace smtflex

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * smtflex::ckpt — the SweepJournal: an append-only, CRC-framed log of
+ * delivered sweep records, fsynced per append, so a coordinator killed
+ * with SIGKILL mid-sweep resumes on restart without recomputing a single
+ * delivered chunk.
+ *
+ * Frame layout (little-endian):
+ *
+ *   u32 magic 'SFJL' | u32 payload length | payload | u32 CRC-32(payload)
+ *
+ * payload := u32 record count, then per record: str key, u32 value
+ * count, f64 values. replay() walks frames until the first torn or
+ * corrupt one — a partially written tail (the crash case) silently ends
+ * the replay, exactly like ResultCache's torn-line healing; everything
+ * before it was fsynced and is trusted via its CRC.
+ */
+
+#ifndef SMTFLEX_CKPT_JOURNAL_H
+#define SMTFLEX_CKPT_JOURNAL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ckpt/store.h"
+
+namespace smtflex {
+namespace ckpt {
+
+class SweepJournal
+{
+  public:
+    /** One delivered (cache key, row values) record. */
+    struct Record
+    {
+        std::string key;
+        std::vector<double> values;
+    };
+
+    SweepJournal(std::string path, CkptStats *stats);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append one frame holding @p records and fsync it (a false return
+     * means the frame may not be durable; the sweep still completes —
+     * the journal only loses resumability, never correctness).
+     */
+    bool append(const std::vector<Record> &records);
+
+    /**
+     * Replay every intact frame in order; stops at the first torn or
+     * corrupt frame (counted via CkptStats::corruptSkipped when the
+     * defect is a CRC/structure failure rather than a clean EOF tail).
+     * Returns the number of records visited.
+     */
+    std::uint64_t replay(const std::function<void(const Record &)> &visit);
+
+  private:
+    std::string path_;
+    CkptStats *stats_;
+};
+
+} // namespace ckpt
+} // namespace smtflex
+
+#endif // SMTFLEX_CKPT_JOURNAL_H

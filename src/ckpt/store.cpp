@@ -1,0 +1,205 @@
+#include "ckpt/store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/env.h"
+#include "common/log.h"
+
+namespace smtflex {
+namespace ckpt {
+
+namespace {
+
+std::string
+hexU64(std::uint64_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return s;
+}
+
+} // namespace
+
+std::uint64_t
+keyHash64(const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+SnapshotStore::SnapshotStore(std::string dir, CkptStats *stats)
+    : dir_(std::move(dir)), stats_(stats)
+{
+    if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
+        warn("ckpt: mkdir(", dir_, ") failed: ", std::strerror(errno));
+}
+
+bool
+SnapshotStore::save(const Snapshot &snap) const
+{
+    const std::string path = dir_ + "/" + hexU64(keyHash64(snap.key)) +
+        "-" + std::to_string(snap.cycle) + ".ckpt";
+    const bool ok = writeSnapshotFile(path, snap);
+    if (ok) {
+        stats_->saves.fetch_add(1, std::memory_order_relaxed);
+        stats_->saveBytes.fetch_add(snap.payload.size() + snap.meta.size(),
+                                    std::memory_order_relaxed);
+    } else {
+        stats_->saveFailures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ok;
+}
+
+std::optional<Snapshot>
+SnapshotStore::best(
+    const std::string &key,
+    const std::function<bool(const Snapshot &)> &eligible) const
+{
+    const std::string prefix = hexU64(keyHash64(key)) + "-";
+
+    // Candidate cycles for this key, newest first.
+    std::vector<std::uint64_t> cycles;
+    DIR *d = ::opendir(dir_.c_str());
+    if (!d)
+        return std::nullopt;
+    while (const dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name.size() <= prefix.size() + 5 ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - 5, 5, ".ckpt") != 0)
+            continue;
+        const std::string cyc =
+            name.substr(prefix.size(), name.size() - prefix.size() - 5);
+        if (cyc.empty() ||
+            cyc.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        cycles.push_back(std::stoull(cyc));
+    }
+    ::closedir(d);
+    std::sort(cycles.rbegin(), cycles.rend());
+
+    for (const std::uint64_t cycle : cycles) {
+        const std::string path =
+            dir_ + "/" + prefix + std::to_string(cycle) + ".ckpt";
+        std::optional<Snapshot> snap;
+        try {
+            snap = readSnapshotFile(path);
+        } catch (const CorruptSnapshot &e) {
+            stats_->corruptSkipped.fetch_add(1, std::memory_order_relaxed);
+            warn("ckpt: skipping corrupt snapshot ", path, ": ", e.what());
+            continue;
+        }
+        if (!snap)
+            continue; // vanished or unreadable: not an error
+        if (snap->key != key) {
+            // 64-bit hash collision: a different key's snapshot. Not
+            // corrupt — just not ours.
+            continue;
+        }
+        if (eligible(*snap))
+            return snap;
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+CkptStats gStats;
+
+std::mutex gBindingMu;
+bool gBindingDecided = false;
+std::unique_ptr<ProcessBinding> gBinding;
+
+constexpr std::uint64_t kDefaultInterval = 1'000'000;
+
+std::unique_ptr<ProcessBinding>
+bindingFromSpec(const std::string &spec)
+{
+    if (spec.empty())
+        return nullptr;
+    std::string dir = spec;
+    std::uint64_t interval = kDefaultInterval;
+    const std::size_t colon = spec.rfind(':');
+    // `dir:interval`; a bare dir keeps the default. (A colon whose tail
+    // is not a number is treated as part of the path.)
+    if (colon != std::string::npos && colon + 1 < spec.size()) {
+        const std::string tail = spec.substr(colon + 1);
+        if (tail.find_first_not_of("0123456789") == std::string::npos) {
+            dir = spec.substr(0, colon);
+            interval = parseU64(tail, "SMTFLEX_CKPT interval");
+        }
+    }
+    if (dir.empty())
+        return nullptr;
+    if (interval == 0)
+        fatal("SMTFLEX_CKPT: snapshot interval must be > 0");
+    auto binding = std::make_unique<ProcessBinding>(
+        ProcessBinding{SnapshotStore(dir, &gStats), interval});
+    inform("ckpt: snapshots in ", dir, " every ", interval, " cycles");
+    return binding;
+}
+
+} // namespace
+
+const ProcessBinding *
+processBinding()
+{
+    std::lock_guard<std::mutex> lock(gBindingMu);
+    if (!gBindingDecided) {
+        gBinding = bindingFromSpec(envString("SMTFLEX_CKPT", ""));
+        gBindingDecided = true;
+    }
+    return gBinding.get();
+}
+
+void
+configureProcess(const std::string &dir, std::uint64_t interval)
+{
+    std::lock_guard<std::mutex> lock(gBindingMu);
+    gBinding = dir.empty()
+        ? nullptr
+        : bindingFromSpec(dir + ":" + std::to_string(interval));
+    gBindingDecided = true;
+}
+
+void
+configureProcessSpec(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(gBindingMu);
+    gBinding = bindingFromSpec(spec);
+    gBindingDecided = true;
+}
+
+void
+resetProcess()
+{
+    std::lock_guard<std::mutex> lock(gBindingMu);
+    gBinding.reset();
+    gBindingDecided = false;
+}
+
+CkptStats &
+processStats()
+{
+    return gStats;
+}
+
+} // namespace ckpt
+} // namespace smtflex

@@ -23,6 +23,7 @@ constexpr std::array<const char *, kNumSites> kSiteNames = {
     "io.write",       "io.fsync",       "io.load",
     "net.short_read", "net.short_write", "net.eagain",
     "net.disconnect", "exec.throw",      "exec.stall",
+    "ckpt.write",     "ckpt.load",
 };
 
 struct SiteState

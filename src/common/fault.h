@@ -55,6 +55,8 @@ enum class Site : unsigned {
     kNetDisconnect,///< connection torn down mid-frame
     kExecThrow,    ///< experiment throws before running
     kExecStall,    ///< experiment stalls `param` ms (default 50) first
+    kCkptWrite,    ///< snapshot/journal write torn at `param` bytes
+    kCkptLoad,     ///< snapshot/journal read behaves as corrupt
     kCount
 };
 

@@ -33,9 +33,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "ckpt/journal.h"
 #include "dist/backend_pool.h"
 #include "dist/shard_planner.h"
 #include "serve/server.h"
@@ -146,14 +149,31 @@ class Coordinator
     void pushRecords(const std::vector<std::string> &keys,
                      Backend &backend);
 
-    /** Store a reply's {"records":{key:[v,...]}} member locally. */
-    std::uint64_t storeRecords(const serve::Json &reply);
+    /** Store a reply's {"records":{key:[v,...]}} member locally; when
+     * @p collected is non-null, also copy each stored record into it
+     * (the journaling path). */
+    std::uint64_t
+    storeRecords(const serve::Json &reply,
+                 std::vector<ckpt::SweepJournal::Record> *collected =
+                     nullptr);
+
+    /** Durably journal @p records (no-op without SMTFLEX_CKPT). */
+    void journalRecords(
+        const std::vector<ckpt::SweepJournal::Record> &records);
 
     CoordinatorOptions options_;
     serve::Server server_;
     BackendPool pool_;
     DistStats stats_;
     std::atomic<std::size_t> rrNext_{0};
+    /** Chunk-completion journal (smtflex::ckpt): every record delivered
+     * by the fleet is CRC-framed and fsynced before the chunk counts as
+     * complete, and replayed into the result cache on startup — a
+     * coordinator killed with SIGKILL mid-sweep resumes without
+     * recomputing a single delivered chunk. Null when SMTFLEX_CKPT is
+     * unset. */
+    std::unique_ptr<ckpt::SweepJournal> journal_;
+    std::mutex journalMutex_;
 };
 
 } // namespace dist

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "common/stats.h"
 #include "sim/chip_config.h"
 #include "telemetry/registry.h"
@@ -247,6 +248,26 @@ class ChipSim
     /** Snapshot results of a low-level (externally driven) run. */
     SimResult collectResult() const;
 
+    /**
+     * Serialize the chip's complete mutable state — global clock, every
+     * core (SMT contexts, ROBs, private caches, MSHRs), the shared side
+     * (interconnect, LLC, DRAM), power/activity accounting and the
+     * sampling series — so that a chip restored from the stream is
+     * bit-identical to this one for all future simulation. Must be
+     * called in a strict-equivalent state (the run loops' boundaries,
+     * after wakeAllCores() settled deferred fast-forward accounting);
+     * the wake bookkeeping itself is then all-awake by construction and
+     * is not serialized. @p threads is the stable table that maps the
+     * ThreadSource pointers inside cores to indices and back.
+     */
+    void saveState(ckpt::Writer &w,
+                   const std::vector<ThreadSource *> &threads) const;
+
+    /** Restore state saved by an identically configured chip; throws
+     * ckpt::CorruptSnapshot on structural mismatch. */
+    void loadState(ckpt::Reader &r,
+                   const std::vector<ThreadSource *> &threads);
+
   private:
     void validatePlacement(const Placement &placement,
                            std::size_t num_threads) const;
@@ -320,6 +341,7 @@ class ChipSim
     telemetry::MetricRegistry registry_;
     /** Interval sampling state (0 interval = off). */
     Cycle samplingInterval_ = 0;
+    std::size_t samplingMaxPoints_ = 0;
     Cycle nextSample_ = 0;
     Cycle lastSampleCycle_ = 0;
     std::uint64_t lastSampleRetired_ = 0;

@@ -291,6 +291,12 @@ ResultCache::appendRecord(Shard &shard, std::size_t index,
             const std::string header = std::string(kFormatHeader) + '\n';
             [[maybe_unused]] const ssize_t h =
                 ::write(shard.fd, header.data(), header.size());
+            // Record fsyncs alone don't make a *new* file durable: its
+            // directory entry needs an fsync of the parent too, else a
+            // power loss can drop the entire segment. (checkpoint()
+            // already syncs the parent after its rename.)
+            if (fsyncEachStore_)
+                syncParentDir(shardPath(index));
         }
     }
     // A write can legitimately land short (signal, disk pressure) or be

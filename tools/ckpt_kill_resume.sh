@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Kill-resume gate for smtflex::ckpt durable sweeps.
+#
+# Repeatedly SIGKILLs a coordinator mid-sweep (no drain, no flush — the
+# crash case), restarts it on the same --ckpt directory, and requires:
+#
+#   1. the restarted coordinator replays the fsynced sweep journal
+#      ("dist: replayed N journaled record(s)" with N > 0),
+#   2. the resumed sweep is byte-identical to a single-node run,
+#   3. after the resume, a fleet-less coordinator on the same journal
+#      renders the sweep with ZERO recompute (no "computing ... locally"
+#      warning) — i.e. every chunk the fleet ever delivered was durable
+#      and nothing was redone.
+#
+# Usage: ckpt_kill_resume.sh <smtflex binary> [rounds]
+
+set -euo pipefail
+
+BIN=${1:?usage: ckpt_kill_resume.sh <smtflex binary> [rounds]}
+ROUNDS=${2:-3}
+
+export SMTFLEX_BUDGET=${SMTFLEX_BUDGET:-2000}
+export SMTFLEX_WARMUP=${SMTFLEX_WARMUP:-500}
+
+WORK=$(mktemp -d /tmp/smtflex_kill_resume.XXXXXX)
+PIDS=()
+cleanup() {
+    local pid
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Three backends on loopback, one private cache each.
+"$BIN" serve --port 7411 --cache "$WORK/b1_cache.txt" & PIDS+=($!)
+"$BIN" serve --port 7412 --cache "$WORK/b2_cache.txt" & PIDS+=($!)
+"$BIN" serve --port 7413 --cache "$WORK/b3_cache.txt" & PIDS+=($!)
+sleep 1
+BACKENDS=(--backend 127.0.0.1:7411 --backend 127.0.0.1:7412
+          --backend 127.0.0.1:7413)
+
+# The single-node reference (no fleet, no checkpointing).
+SMTFLEX_CACHE="$WORK/solo_cache.txt" "$BIN" sweep > "$WORK/solo_sweep.txt"
+
+for ROUND in $(seq 1 "$ROUNDS"); do
+    echo "=== round $ROUND: SIGKILL mid-sweep, then resume ==="
+    CKPT="$WORK/ckpt$ROUND"
+
+    # Victim coordinator. A fresh result-cache path every launch: only
+    # the journal may carry state across the kill.
+    "$BIN" coordinator --port 7410 --cache "$WORK/victim${ROUND}.txt" \
+        --ckpt "$CKPT" "${BACKENDS[@]}" \
+        2> "$WORK/victim${ROUND}.log" &
+    VICTIM=$!
+    sleep 1
+
+    # Fire the sweep, then SIGKILL the coordinator as soon as the first
+    # chunk has been journaled — mid-sweep by construction.
+    "$BIN" sweep --addr 127.0.0.1:7410 > "$WORK/killed_sweep.txt" \
+        2>/dev/null & CLIENT=$!
+    for _ in $(seq 1 200); do
+        [ -s "$CKPT/sweep.journal" ] && break
+        sleep 0.05
+    done
+    kill -9 "$VICTIM"
+    wait "$VICTIM" 2>/dev/null || true
+    wait "$CLIENT" 2>/dev/null || true
+    [ -s "$CKPT/sweep.journal" ] ||
+        { echo "FAIL: no journal survived the kill"; exit 1; }
+
+    # Resume: new process, same journal, fresh cache. The sweep must
+    # complete byte-identically to the single-node reference.
+    "$BIN" coordinator --port 7410 --cache "$WORK/resumed${ROUND}.txt" \
+        --ckpt "$CKPT" "${BACKENDS[@]}" \
+        2> "$WORK/resumed${ROUND}.log" &
+    RESUMED=$!
+    sleep 1
+    "$BIN" sweep --addr 127.0.0.1:7410 > "$WORK/resumed_sweep.txt"
+    kill "$RESUMED"; wait "$RESUMED" 2>/dev/null || true
+
+    grep -q "replayed .* journaled record" "$WORK/resumed${ROUND}.log" ||
+        { echo "FAIL: resumed coordinator did not replay the journal";
+          cat "$WORK/resumed${ROUND}.log"; exit 1; }
+    diff -u "$WORK/solo_sweep.txt" "$WORK/resumed_sweep.txt"
+    echo "round $ROUND: resumed sweep is byte-identical"
+
+    # Zero-recompute proof: with the now-complete journal, a coordinator
+    # with NO fleet must serve the sweep purely from replayed records —
+    # any missing record would trigger the local-compute warning.
+    "$BIN" coordinator --port 7410 --cache "$WORK/verify${ROUND}.txt" \
+        --ckpt "$CKPT" 2> "$WORK/verify${ROUND}.log" &
+    VERIFY=$!
+    sleep 1
+    "$BIN" sweep --addr 127.0.0.1:7410 > "$WORK/journal_only_sweep.txt"
+    kill "$VERIFY"; wait "$VERIFY" 2>/dev/null || true
+
+    diff -u "$WORK/solo_sweep.txt" "$WORK/journal_only_sweep.txt"
+    if grep -q "computing .* locally" "$WORK/verify${ROUND}.log"; then
+        echo "FAIL: journal-only render recomputed records"
+        cat "$WORK/verify${ROUND}.log"
+        exit 1
+    fi
+    echo "round $ROUND: journal alone serves the sweep, zero recompute"
+done
+
+echo "kill-resume gate passed ($ROUNDS rounds)"

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/store.h"
 #include "common/env.h"
 #include "common/log.h"
 #include "dist/coordinator.h"
@@ -536,6 +537,8 @@ usage()
         "         [--warmup N] [--seed N] [--bw G] [--prefetch]\n"
         "         [--naive-sched] [--report text|csv-threads|csv-cores]\n"
         "         [--cache FILE] [--addr HOST:PORT]\n"
+        "         [--ckpt DIR[:INTERVAL]]  (crash-safe snapshots +\n"
+        "                                warm resume; also SMTFLEX_CKPT)\n"
         "  sweep  --design D [--bench b | --het] [--no-smt] [--bw G]\n"
         "         [--addr HOST:PORT]    (--addr: execute on a running\n"
         "                                serve/coordinator endpoint)\n"
@@ -550,7 +553,7 @@ usage()
         "  trace  --bench b --out file [--count N] [--seed N]\n"
         "  serve  [--port N] [--host A] [--jobs N] [--queue N]\n"
         "         [--batch N] [--max-frame N] [--drain-timeout MS]\n"
-        "         [--cache FILE]\n"
+        "         [--cache FILE] [--ckpt DIR[:INTERVAL]]\n"
         "  coordinator [--backend HOST:PORT ...] [serve options]\n"
         "         [--chunk-rows N] [--steal-after-ms N] [--max-dispatch N]\n"
         "         [--quarantine-after N] [--probe-timeout-ms N]\n"
@@ -579,6 +582,10 @@ main(int argc, char **argv)
         if (cmd == "isolated")
             return cmdIsolated(argc, argv);
         const Args args(argc, argv, 2);
+        // Process-wide snapshotting switch (equivalent to SMTFLEX_CKPT;
+        // the flag wins when both are given).
+        if (args.has("ckpt"))
+            ckpt::configureProcessSpec(args.get("ckpt"));
         if (cmd == "run")
             return cmdRun(args);
         if (cmd == "sweep")

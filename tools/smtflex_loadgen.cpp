@@ -37,7 +37,9 @@ usage()
         "  --requests N      requests per connection (default 50)\n"
         "  --seed N          request-sequence seed (default 1)\n"
         "  --mix SPEC        op=weight list over ping, stats, metrics,\n"
-        "                    run, sweep, isolated and schedule (default\n"
+        "                    run, sweep, isolated, schedule and warmrun\n"
+        "                    (runs sharing a workload prefix, exercising\n"
+        "                    SMTFLEX_CKPT warm starts; default\n"
         "                    ping=2,run=4,sweep=1,isolated=1)\n"
         "  --distinct N      distinct simulation variants (default 6)\n"
         "  --budget N        instructions per run request (default 2000)\n"
